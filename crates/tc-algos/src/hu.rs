@@ -1,0 +1,310 @@
+//! Hu, Guan & Zou (ICDEW'19): fine-grained wedge-per-thread counting.
+//!
+//! The workload unit is a *wedge* `u → v → w`: one thread binary-searches
+//! `w` in `u`'s adjacency list, which a block first stages into shared
+//! memory. Execution follows the paper's "copy–synchronize–search"
+//! supersteps (Figure 2): the block loads the lists it needs, barriers,
+//! then every warp runs 32 divergent searches in lock step, barriers
+//! again, and moves to the next chunk of wedges.
+//!
+//! This is the algorithm the paper uses as its running example: it hosts
+//! both analytic models (intra-block BSP for A-direction, resource balance
+//! for A-order) and appears in Tables 2 and 5 and Figures 12 and 16.
+
+use crate::intersect::{lockstep_multi_search, LaneSearch};
+use crate::{run_kernel, GpuTriangleCounter, KernelGen, RunResult};
+use tc_gpusim::coalesce::segments_for_addresses;
+use tc_gpusim::ops::WarpOp;
+use tc_gpusim::search::SearchCosts;
+use tc_gpusim::trace::{BlockTrace, WarpTrace};
+use tc_gpusim::GpuConfig;
+use tc_graph::{DirectedGraph, VertexId};
+
+/// Hu's fine-grained algorithm.
+#[derive(Clone, Debug)]
+pub struct HuFineGrained {
+    /// Consecutive vertices whose wedges one block owns — the paper's
+    /// bucket size `k` (Section 3.2.4). A-order optimizes exactly this
+    /// grouping.
+    pub bucket_size: usize,
+    /// 32-wedge search batches each warp runs between two barriers. One
+    /// staged piece serves `32 × warps × batches` searches, amortizing the
+    /// copy phase the way the real kernel's shared-memory piece does.
+    pub batches_per_superstep: usize,
+    /// Search-loop cost constants.
+    pub costs: SearchCosts,
+}
+
+impl Default for HuFineGrained {
+    fn default() -> Self {
+        Self {
+            bucket_size: 64,
+            batches_per_superstep: 4,
+            costs: SearchCosts::default(),
+        }
+    }
+}
+
+/// One wedge work item: search `key` (= w) in `N⁺(u)`.
+struct Wedge {
+    u: VertexId,
+    key: VertexId,
+    /// Global word address `w` was streamed from (inside `N⁺(v)`).
+    key_addr: u64,
+}
+
+pub(crate) struct HuKernel<'a> {
+    g: &'a DirectedGraph,
+    bucket_size: usize,
+    warps_per_block: usize,
+    batches_per_superstep: usize,
+    costs: SearchCosts,
+}
+
+impl<'a> HuKernel<'a> {
+    pub(crate) fn new(
+        g: &'a DirectedGraph,
+        gpu: &GpuConfig,
+        bucket_size: usize,
+        batches_per_superstep: usize,
+        costs: SearchCosts,
+    ) -> Self {
+        Self {
+            g,
+            bucket_size: bucket_size.max(1),
+            warps_per_block: gpu.warps_per_block,
+            batches_per_superstep: batches_per_superstep.max(1),
+            costs,
+        }
+    }
+
+    fn bucket_wedges(&self, idx: usize) -> Vec<Wedge> {
+        let start = (idx * self.bucket_size) as VertexId;
+        let end = (((idx + 1) * self.bucket_size).min(self.g.num_vertices())) as VertexId;
+        let mut wedges = Vec::new();
+        for u in start..end {
+            for &v in self.g.out_neighbors(u) {
+                let base_v = self.g.offsets()[v as usize] as u64;
+                for (t, &w) in self.g.out_neighbors(v).iter().enumerate() {
+                    wedges.push(Wedge {
+                        u,
+                        key: w,
+                        key_addr: base_v + t as u64,
+                    });
+                }
+            }
+        }
+        wedges
+    }
+}
+
+impl KernelGen for HuKernel<'_> {
+    fn num_blocks(&self) -> usize {
+        self.g.num_vertices().div_ceil(self.bucket_size)
+    }
+
+    fn gen_block(&self, idx: usize) -> (BlockTrace, u64) {
+        let wedges = self.bucket_wedges(idx);
+        let wpb = self.warps_per_block;
+        let chunk = 32 * wpb * self.batches_per_superstep;
+        let mut warp_ops: Vec<Vec<WarpOp>> = vec![Vec::new(); wpb];
+        let mut count = 0u64;
+
+        for superstep in wedges.chunks(chunk) {
+            // -- Copy phase: stage the distinct u-lists this chunk searches.
+            // Wedges arrive grouped by u, so distinct-u detection is a scan.
+            let mut stage_words = 0u64;
+            let mut stage_base = Vec::<(VertexId, u64)>::new();
+            for w in superstep {
+                if stage_base.last().map(|&(u, _)| u) != Some(w.u) {
+                    stage_base.push((w.u, stage_words));
+                    stage_words += self.g.out_degree(w.u) as u64;
+                }
+            }
+            let stage_share = stage_words.div_ceil(32 * wpb as u64).max(1) as u32;
+            for ops in warp_ops.iter_mut() {
+                ops.push(WarpOp::GlobalAccess {
+                    segments: stage_share,
+                });
+                ops.push(WarpOp::SharedAccess {
+                    transactions: stage_share,
+                });
+                ops.push(WarpOp::BlockSync);
+            }
+
+            // -- Search phase. Threads receive wedges by global thread id
+            // (thread t ← wedge t), so a warp's 32 lanes hold wedges
+            // spread across the chunk — when the chunk spans several
+            // source vertices, lanes search lists of *different lengths*
+            // and the lock-step warp runs at the deepest lane's depth.
+            // This is the divergence the paper's Figure 2 describes, and
+            // the imbalance that A-direction's flattened out-degrees
+            // remove.
+            for batch in 0..self.batches_per_superstep {
+            let window = &superstep[(batch * 32 * wpb).min(superstep.len())
+                ..((batch + 1) * 32 * wpb).min(superstep.len())];
+            if window.is_empty() {
+                break;
+            }
+            for (w_idx, ops) in warp_ops.iter_mut().enumerate() {
+                let lane_wedges: Vec<&Wedge> = (0..32)
+                    .filter_map(|l| window.get(l * wpb + w_idx))
+                    .collect();
+                if lane_wedges.is_empty() {
+                    continue;
+                }
+                // Stream the 32 keys (w values) from global memory. The
+                // strided thread assignment interleaves lanes across the
+                // same v-lists, so consecutive warps re-touch the same
+                // 128-byte segments; L1 turns the aggregate into a nearly
+                // streaming access, which the cap models (total unique key
+                // words across the kernel ≈ one word per wedge).
+                ops.push(WarpOp::GlobalAccess {
+                    segments: segments_for_addresses(lane_wedges.iter().map(|w| w.key_addr))
+                        .min(4),
+                });
+                let lanes: Vec<LaneSearch<'_>> = lane_wedges
+                    .iter()
+                    .map(|w| {
+                        let base = stage_base
+                            .iter()
+                            .find(|&&(u, _)| u == w.u)
+                            .map(|&(_, b)| b)
+                            .expect("staged");
+                        LaneSearch {
+                            list: self.g.out_neighbors(w.u),
+                            base,
+                            key: w.key,
+                        }
+                    })
+                    .collect();
+                count += lockstep_multi_search(&lanes, &self.costs, ops);
+            }
+            }
+
+            // -- End-of-superstep barrier before the shared buffer is reused.
+            for ops in warp_ops.iter_mut() {
+                ops.push(WarpOp::BlockSync);
+            }
+        }
+
+        let warps = warp_ops.into_iter().map(WarpTrace::new).collect();
+        (BlockTrace::new(warps), count)
+    }
+}
+
+impl HuFineGrained {
+    /// Runs the kernel and also returns the per-block schedule events
+    /// (for [`tc_gpusim::timeline`] analysis of bucket/block imbalance).
+    pub fn count_with_events(
+        &self,
+        g: &DirectedGraph,
+        gpu: &GpuConfig,
+    ) -> (RunResult, Vec<tc_gpusim::BlockEvent>) {
+        let kernel = HuKernel::new(
+            g,
+            gpu,
+            self.bucket_size,
+            self.batches_per_superstep,
+            self.costs,
+        );
+        crate::run_kernel_with_events(&kernel, gpu)
+    }
+}
+
+impl GpuTriangleCounter for HuFineGrained {
+    fn name(&self) -> &'static str {
+        "Hu fine-grained"
+    }
+
+    fn count(&self, g: &DirectedGraph, gpu: &GpuConfig) -> RunResult {
+        let kernel = HuKernel::new(
+            g,
+            gpu,
+            self.bucket_size,
+            self.batches_per_superstep,
+            self.costs,
+        );
+        run_kernel(&kernel, gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu;
+    use tc_graph::generators::{erdos_renyi, power_law_configuration, watts_strogatz};
+    use tc_graph::{orient_by_rank, GraphBuilder};
+
+    fn orient(g: &tc_graph::CsrGraph) -> DirectedGraph {
+        let rank: Vec<u64> = g.vertices().map(u64::from).collect();
+        orient_by_rank(g, &rank)
+    }
+
+    #[test]
+    fn counts_k4() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .build();
+        let r = HuFineGrained::default().count(&orient(&g), &GpuConfig::tiny());
+        assert_eq!(r.triangles, 4);
+    }
+
+    #[test]
+    fn matches_cpu_on_random_graphs() {
+        let gpu = GpuConfig::tiny();
+        for seed in 0..4u64 {
+            let g = erdos_renyi(150, 700, seed);
+            let d = orient(&g);
+            let r = HuFineGrained::default().count(&d, &gpu);
+            assert_eq!(r.triangles, cpu::directed_count(&d), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_cpu_on_skewed_and_clustered_graphs() {
+        let gpu = GpuConfig::titan_xp_like();
+        let skewed = power_law_configuration(500, 2.1, 8.0, 11);
+        let d = orient(&skewed);
+        assert_eq!(
+            HuFineGrained::default().count(&d, &gpu).triangles,
+            cpu::directed_count(&d)
+        );
+        let ring = watts_strogatz(300, 3, 0.1, 7);
+        let d = orient(&ring);
+        assert_eq!(
+            HuFineGrained::default().count(&d, &gpu).triangles,
+            cpu::directed_count(&d)
+        );
+    }
+
+    #[test]
+    fn bucket_size_does_not_change_the_count() {
+        let g = power_law_configuration(400, 2.2, 7.0, 3);
+        let d = orient(&g);
+        let gpu = GpuConfig::titan_xp_like();
+        let expect = cpu::directed_count(&d);
+        for k in [1, 7, 64, 1000] {
+            let algo = HuFineGrained {
+                bucket_size: k,
+                ..HuFineGrained::default()
+            };
+            assert_eq!(algo.count(&d, &gpu).triangles, expect, "bucket {k}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let d = orient(&tc_graph::CsrGraph::empty(5));
+        let r = HuFineGrained::default().count(&d, &GpuConfig::tiny());
+        assert_eq!(r.triangles, 0);
+    }
+
+    #[test]
+    fn emits_supersteps_with_barriers() {
+        let g = power_law_configuration(300, 2.2, 8.0, 1);
+        let d = orient(&g);
+        let r = HuFineGrained::default().count(&d, &GpuConfig::titan_xp_like());
+        assert!(r.metrics.barrier_arrivals > 0, "BSP supersteps must sync");
+        assert!(r.metrics.shared_transactions > 0, "searches hit shared memory");
+    }
+}

@@ -1,0 +1,143 @@
+//! Triangle-counting algorithms.
+//!
+//! The paper evaluates its preprocessing against five published GPU
+//! algorithms. Each is implemented here as a *trace generator*: the
+//! algorithm's real traversal logic runs on the CPU — so triangle counts
+//! are exact — while emitting the warp-level operation stream its CUDA
+//! kernel would execute; `tc-gpusim` turns that stream into cycles.
+//!
+//! | Module | Paper algorithm | Work granularity |
+//! |---|---|---|
+//! | [`polak`] | Polak 2016 | thread per edge |
+//! | [`gunrock`] | Wang et al. 2016 (Gunrock) | thread per edge, binary-search or sort-merge |
+//! | [`tricore`] | Hu/Liu/Huang 2018 (TriCore) | warp per edge |
+//! | [`bisson`] | Bisson & Fatica 2017 | block per vertex + bitmap + barriers |
+//! | [`hu`] | Hu/Guan/Zou 2019 | wedge per thread + shared staging + barriers |
+//! | [`fox`] | Fox/Green et al. 2018 | adaptive edge binning |
+//! | [`cpu`] | Schank & Wagner baselines, Shun-style multicore | exact CPU counters |
+//!
+//! All GPU algorithms consume a [`tc_graph::DirectedGraph`] (the output of
+//! an edge-directing scheme) and count each triangle exactly once as the
+//! directed pattern `u→v, u→w, v→w`.
+
+pub mod approx;
+pub mod bisson;
+pub mod cpu;
+pub mod fox;
+pub mod gunrock;
+pub mod hu;
+pub mod intersect;
+pub mod polak;
+pub mod tricore;
+mod trace_util;
+
+use std::cell::RefCell;
+use tc_gpusim::{simulate, BlockSource, BlockTrace, GpuConfig, KernelMetrics};
+use tc_graph::DirectedGraph;
+
+/// Result of one simulated GPU triangle-counting run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunResult {
+    /// Exact number of triangles found.
+    pub triangles: u64,
+    /// Simulated timing and traffic counters.
+    pub metrics: KernelMetrics,
+}
+
+impl RunResult {
+    /// Kernel time in milliseconds at the configured clock.
+    pub fn kernel_ms(&self, gpu: &GpuConfig) -> f64 {
+        gpu.cycles_to_ms(self.metrics.kernel_cycles)
+    }
+}
+
+/// A GPU triangle-counting algorithm.
+pub trait GpuTriangleCounter {
+    /// Short display name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Counts triangles of `g` while simulating the kernel on `gpu`.
+    fn count(&self, g: &DirectedGraph, gpu: &GpuConfig) -> RunResult;
+}
+
+/// A kernel whose blocks are generated (and partially counted) on demand.
+///
+/// Implementors return, for each block index, the block's trace *and* the
+/// number of triangles that block finds. [`run_kernel`] wires this into the
+/// simulator and totals the counts.
+pub trait KernelGen {
+    /// Number of blocks in the grid.
+    fn num_blocks(&self) -> usize;
+
+    /// Trace and partial triangle count of block `idx`. Must be
+    /// deterministic: the engine may in principle regenerate a block.
+    fn gen_block(&self, idx: usize) -> (BlockTrace, u64);
+}
+
+/// Adapter: runs a [`KernelGen`] through the simulator, accumulating the
+/// per-block triangle counts exactly once per block.
+struct CountingSource<'a, K: KernelGen + ?Sized> {
+    gen: &'a K,
+    counts: RefCell<Vec<Option<u64>>>,
+}
+
+impl<K: KernelGen + ?Sized> BlockSource for CountingSource<'_, K> {
+    fn num_blocks(&self) -> usize {
+        self.gen.num_blocks()
+    }
+
+    fn block(&self, idx: usize) -> BlockTrace {
+        let (trace, count) = self.gen.gen_block(idx);
+        self.counts.borrow_mut()[idx] = Some(count);
+        trace
+    }
+}
+
+/// Simulates a [`KernelGen`] and returns its total count plus metrics.
+pub fn run_kernel<K: KernelGen + ?Sized>(gen: &K, gpu: &GpuConfig) -> RunResult {
+    let source = CountingSource {
+        gen,
+        counts: RefCell::new(vec![None; gen.num_blocks()]),
+    };
+    let metrics = simulate(gpu, &source);
+    let triangles = source
+        .counts
+        .borrow()
+        .iter()
+        .map(|c| c.expect("engine visits every block exactly once"))
+        .sum();
+    RunResult { triangles, metrics }
+}
+
+/// Like [`run_kernel`] but also returns the per-block schedule events for
+/// timeline analysis ([`tc_gpusim::timeline`]).
+pub fn run_kernel_with_events<K: KernelGen + ?Sized>(
+    gen: &K,
+    gpu: &GpuConfig,
+) -> (RunResult, Vec<tc_gpusim::BlockEvent>) {
+    let source = CountingSource {
+        gen,
+        counts: RefCell::new(vec![None; gen.num_blocks()]),
+    };
+    let (metrics, events) = tc_gpusim::simulate_with_events(gpu, &source);
+    let triangles = source
+        .counts
+        .borrow()
+        .iter()
+        .map(|c| c.expect("engine visits every block exactly once"))
+        .sum();
+    (RunResult { triangles, metrics }, events)
+}
+
+/// Convenience: all five paper algorithms with default settings, for
+/// experiments that sweep over them.
+pub fn all_gpu_algorithms() -> Vec<Box<dyn GpuTriangleCounter>> {
+    vec![
+        Box::new(polak::Polak::default()),
+        Box::new(gunrock::Gunrock::default()),
+        Box::new(tricore::TriCore::default()),
+        Box::new(bisson::Bisson::default()),
+        Box::new(hu::HuFineGrained::default()),
+        Box::new(fox::Fox::default()),
+    ]
+}

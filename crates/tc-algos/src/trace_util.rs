@@ -1,0 +1,121 @@
+//! Helpers for emitting aggregated op streams.
+
+use tc_gpusim::ops::WarpOp;
+
+/// Upper bound on the size of a single emitted op, so long phases are
+/// split into slices the scheduler can interleave with other warps.
+pub(crate) const CHUNK: u64 = 1024;
+
+/// Emits `segments` of global traffic and `cycles` of compute as an
+/// interleaved sequence of bounded ops.
+///
+/// Generators use this when a phase's *totals* are known but emitting one
+/// op per iteration would be wasteful (e.g. a lane-serial loop running
+/// thousands of iterations). Interleaving keeps the compute and memory
+/// servers co-scheduled the way fine-grained emission would.
+pub(crate) fn emit_mixed(ops: &mut Vec<WarpOp>, segments: u64, cycles: u64) {
+    let slices = (segments.max(cycles)).div_ceil(CHUNK).max(1);
+    let mut seg_left = segments;
+    let mut cyc_left = cycles;
+    for i in 0..slices {
+        let remaining = slices - i;
+        let seg = seg_left / remaining;
+        let cyc = cyc_left / remaining;
+        if seg > 0 {
+            ops.push(WarpOp::GlobalAccess {
+                segments: seg as u32,
+            });
+        }
+        if cyc > 0 {
+            ops.push(WarpOp::Compute(cyc as u32));
+        }
+        seg_left -= seg;
+        cyc_left -= cyc;
+    }
+    if seg_left > 0 {
+        ops.push(WarpOp::GlobalAccess {
+            segments: seg_left as u32,
+        });
+    }
+    if cyc_left > 0 {
+        ops.push(WarpOp::Compute(cyc_left as u32));
+    }
+}
+
+/// Number of probe iterations a canonical binary search of `key` over a
+/// list of length `len` performs, together with whether it hits.
+///
+/// Must mirror the loop in `tc_gpusim::search` exactly so that serial
+/// (per-lane) cost estimates agree with lock-step executions.
+pub(crate) fn bsearch_steps(list: &[u32], key: u32) -> (bool, u32) {
+    let mut lo = 0usize;
+    let mut hi = list.len();
+    let mut steps = 0u32;
+    while lo < hi {
+        steps += 1;
+        let mid = (lo + hi) / 2;
+        if list[mid] == key {
+            return (true, steps);
+        } else if list[mid] < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (false, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn totals(ops: &[WarpOp]) -> (u64, u64) {
+        let mut seg = 0u64;
+        let mut cyc = 0u64;
+        for op in ops {
+            match op {
+                WarpOp::GlobalAccess { segments } => seg += *segments as u64,
+                WarpOp::Compute(c) => cyc += *c as u64,
+                _ => {}
+            }
+        }
+        (seg, cyc)
+    }
+
+    #[test]
+    fn emit_mixed_preserves_totals() {
+        for (s, c) in [(0u64, 0u64), (1, 0), (0, 1), (5000, 3), (3, 5000), (12345, 6789)] {
+            let mut ops = Vec::new();
+            emit_mixed(&mut ops, s, c);
+            assert_eq!(totals(&ops), (s, c), "segments={s} cycles={c}");
+        }
+    }
+
+    #[test]
+    fn emit_mixed_bounds_op_sizes() {
+        let mut ops = Vec::new();
+        emit_mixed(&mut ops, 100_000, 50_000);
+        for op in &ops {
+            match op {
+                WarpOp::GlobalAccess { segments } => assert!(*segments as u64 <= 2 * CHUNK),
+                WarpOp::Compute(c) => assert!(*c as u64 <= 2 * CHUNK),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn bsearch_steps_agrees_with_std() {
+        let list: Vec<u32> = (0..500).map(|i| i * 3).collect();
+        for key in 0..1500 {
+            let (found, steps) = bsearch_steps(&list, key);
+            assert_eq!(found, list.binary_search(&key).is_ok());
+            assert!(steps <= 10, "log2(500) ≈ 9, got {steps}");
+        }
+    }
+
+    #[test]
+    fn bsearch_steps_empty_list() {
+        assert_eq!(bsearch_steps(&[], 7), (false, 0));
+    }
+}

@@ -1,0 +1,334 @@
+//! TriCore (Hu, Liu & Huang, SC'18): warp-per-edge triangle counting.
+//!
+//! Each warp owns a directed edge `u → v`; its 32 lanes stream `N⁺(v)` in
+//! coalesced batches and binary-search each element in `N⁺(u)` (global
+//! memory). This is the algorithm whose SIMT fit the paper highlights, and
+//! one of the two hosts of the Table 6 reordering study.
+
+use crate::{run_kernel, GpuTriangleCounter, KernelGen, RunResult};
+use tc_gpusim::coalesce::segments_for_contiguous;
+use tc_gpusim::ops::WarpOp;
+use tc_gpusim::search::{lockstep_binary_search, SearchCosts, SearchSpace};
+use tc_gpusim::trace::{BlockTrace, WarpTrace};
+use tc_gpusim::GpuConfig;
+use tc_graph::{DirectedGraph, VertexId};
+
+/// Warp-level intersection strategy (for the paper's Figure 10 study;
+/// TriCore proper uses binary search).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WarpIntersect {
+    /// Lanes cooperatively binary-search the keys (TriCore's design).
+    #[default]
+    BinarySearch,
+    /// Warp-wide merge path: diagonal partition searches split the pair
+    /// into 32 chunks, then lanes merge their chunks in lock step.
+    MergePath,
+}
+
+/// TriCore configuration.
+#[derive(Clone, Debug)]
+pub struct TriCore {
+    /// Edges each warp processes (consecutive in edge order). TriCore
+    /// itself grabs edges in chunks; 4 keeps grids large without drowning
+    /// the simulator in single-edge blocks.
+    pub edges_per_warp: usize,
+    /// Intersection strategy ("bs" vs "sm" in Figure 10).
+    pub intersect: WarpIntersect,
+    /// Search-loop cost constants.
+    pub costs: SearchCosts,
+}
+
+impl Default for TriCore {
+    fn default() -> Self {
+        Self {
+            edges_per_warp: 4,
+            intersect: WarpIntersect::BinarySearch,
+            costs: SearchCosts::default(),
+        }
+    }
+}
+
+impl TriCore {
+    /// The sort-merge variant used in the Figure 10 comparison.
+    pub fn sort_merge() -> Self {
+        Self {
+            intersect: WarpIntersect::MergePath,
+            ..Self::default()
+        }
+    }
+}
+
+pub(crate) struct TriCoreKernel<'a> {
+    g: &'a DirectedGraph,
+    /// Source vertex of every directed edge, in CSR order.
+    edge_src: Vec<VertexId>,
+    /// Optional processing order over edge ids (Fox's binning and the
+    /// edge-reordering experiments feed through this). `None` = CSR order.
+    edge_order: Option<Vec<u32>>,
+    warps_per_block: usize,
+    edges_per_warp: usize,
+    intersect: WarpIntersect,
+    costs: SearchCosts,
+}
+
+impl<'a> TriCoreKernel<'a> {
+    pub(crate) fn new(g: &'a DirectedGraph, gpu: &GpuConfig, edges_per_warp: usize, costs: SearchCosts) -> Self {
+        let mut edge_src = Vec::with_capacity(g.num_edges());
+        for u in g.vertices() {
+            edge_src.extend(std::iter::repeat_n(u, g.out_degree(u)));
+        }
+        Self {
+            g,
+            edge_src,
+            edge_order: None,
+            warps_per_block: gpu.warps_per_block,
+            edges_per_warp: edges_per_warp.max(1),
+            intersect: WarpIntersect::BinarySearch,
+            costs,
+        }
+    }
+
+    /// Selects the warp-level intersection strategy.
+    pub(crate) fn with_intersect(mut self, intersect: WarpIntersect) -> Self {
+        self.intersect = intersect;
+        self
+    }
+
+    /// Sets a custom processing order over edge ids.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..num_edges`.
+    pub(crate) fn with_edge_order(mut self, order: Vec<u32>) -> Self {
+        assert_eq!(order.len(), self.g.num_edges(), "order must cover all edges");
+        let mut seen = vec![false; order.len()];
+        for &e in &order {
+            assert!(
+                !std::mem::replace(&mut seen[e as usize], true),
+                "duplicate edge id {e} in order"
+            );
+        }
+        self.edge_order = Some(order);
+        self
+    }
+
+    /// Source vertex of the edge at processing position `pos`.
+    pub(crate) fn edge_at(&self, pos: usize) -> usize {
+        match &self.edge_order {
+            Some(order) => order[pos] as usize,
+            None => pos,
+        }
+    }
+
+    fn edges_per_block(&self) -> usize {
+        self.warps_per_block * self.edges_per_warp
+    }
+
+    /// Emits one edge's warp ops, returning its triangle count.
+    fn process_edge(&self, edge_idx: usize, ops: &mut Vec<WarpOp>) -> u64 {
+        let u = self.edge_src[edge_idx];
+        let v = self.g.out_neighbor_array()[edge_idx];
+        let search_list = self.g.out_neighbors(u);
+        let keys = self.g.out_neighbors(v);
+        if search_list.is_empty() || keys.is_empty() {
+            return 0;
+        }
+        let found = match self.intersect {
+            WarpIntersect::BinarySearch => self.edge_binary_search(u, v, ops),
+            WarpIntersect::MergePath => self.edge_merge_path(u, v, ops),
+        };
+        // Warp-aggregated atomic add of the result.
+        ops.push(WarpOp::Compute(2));
+        ops.push(WarpOp::GlobalAccess { segments: 1 });
+        found
+    }
+
+    fn edge_binary_search(&self, u: VertexId, v: VertexId, ops: &mut Vec<WarpOp>) -> u64 {
+        let search_list = self.g.out_neighbors(u);
+        let keys = self.g.out_neighbors(v);
+        let base_u = self.g.offsets()[u as usize] as u64;
+        let base_v = self.g.offsets()[v as usize] as u64;
+        let mut found = 0u64;
+        for (chunk_idx, chunk) in keys.chunks(32).enumerate() {
+            // Coalesced stream of the key batch from N+(v).
+            ops.push(WarpOp::GlobalAccess {
+                segments: segments_for_contiguous(
+                    base_v + (chunk_idx * 32) as u64,
+                    chunk.len() as u64,
+                ),
+            });
+            let out = lockstep_binary_search(
+                search_list,
+                chunk,
+                SearchSpace::Global { base: base_u },
+                &self.costs,
+                ops,
+            );
+            found += out.found as u64;
+        }
+        found
+    }
+
+    /// Warp-wide merge path: 2×32 diagonal binary searches partition the
+    /// pair, then each lane merges its chunk serially (lock-step, so the
+    /// warp runs for the chunk length — near-uniform by construction).
+    fn edge_merge_path(&self, u: VertexId, v: VertexId, ops: &mut Vec<WarpOp>) -> u64 {
+        let a = self.g.out_neighbors(u);
+        let b = self.g.out_neighbors(v);
+        let found = crate::intersect::merge_count(a, b, None);
+        let total = (a.len() + b.len()) as u64;
+        // Partition phase: each lane runs one diagonal search (~log total
+        // probes over both lists, scattered).
+        let log = (64 - total.leading_zeros() as u64).max(1) as u32;
+        ops.push(WarpOp::GlobalAccess {
+            segments: 32.min(total) as u32,
+        });
+        ops.push(WarpOp::Compute(2 * log));
+        // Merge phase: each lane advances one element per lock step, and
+        // the loads are serially dependent (the next pointer move follows
+        // the current comparison), so every 32 steps the warp stalls on
+        // the next cache lines of both lists — a real latency chain, just
+        // like the binary search's per-level probes.
+        let chunk = total.div_ceil(32); // lock-step iterations per lane
+        let mut remaining = chunk;
+        while remaining > 0 {
+            let iters = remaining.min(32);
+            // Each active lane crosses into ~one new 128-byte line of its
+            // sublists per 32 consumed elements.
+            ops.push(WarpOp::GlobalAccess {
+                segments: 32.min(total) as u32,
+            });
+            ops.push(WarpOp::Compute((2 * iters) as u32));
+            remaining -= iters;
+        }
+        found
+    }
+}
+
+impl KernelGen for TriCoreKernel<'_> {
+    fn num_blocks(&self) -> usize {
+        self.g.num_edges().div_ceil(self.edges_per_block())
+    }
+
+    fn gen_block(&self, idx: usize) -> (BlockTrace, u64) {
+        let first_edge = idx * self.edges_per_block();
+        let last_edge = ((idx + 1) * self.edges_per_block()).min(self.g.num_edges());
+        let mut warps = Vec::with_capacity(self.warps_per_block);
+        let mut count = 0u64;
+        for w in 0..self.warps_per_block {
+            let mut ops = Vec::new();
+            let start = first_edge + w * self.edges_per_warp;
+            let end = (start + self.edges_per_warp).min(last_edge);
+            if start < end {
+                // One coalesced read of this warp's edge descriptors.
+                ops.push(WarpOp::GlobalAccess { segments: 1 });
+                for pos in start..end {
+                    count += self.process_edge(self.edge_at(pos), &mut ops);
+                }
+            }
+            warps.push(WarpTrace::new(ops));
+        }
+        (BlockTrace::new(warps), count)
+    }
+}
+
+impl GpuTriangleCounter for TriCore {
+    fn name(&self) -> &'static str {
+        match self.intersect {
+            WarpIntersect::BinarySearch => "TriCore (bs)",
+            WarpIntersect::MergePath => "TriCore (sm)",
+        }
+    }
+
+    fn count(&self, g: &DirectedGraph, gpu: &GpuConfig) -> RunResult {
+        // Lean kernel: high occupancy hides the binary search's dependent
+        // memory latencies.
+        let gpu = gpu.with_blocks_per_sm(gpu.blocks_per_sm.max(6));
+        let kernel = TriCoreKernel::new(g, &gpu, self.edges_per_warp, self.costs)
+            .with_intersect(self.intersect);
+        run_kernel(&kernel, &gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu;
+    use tc_graph::generators::{erdos_renyi, power_law_configuration};
+    use tc_graph::{orient_by_rank, GraphBuilder};
+
+    fn orient(g: &tc_graph::CsrGraph) -> DirectedGraph {
+        let rank: Vec<u64> = g.vertices().map(u64::from).collect();
+        orient_by_rank(g, &rank)
+    }
+
+    #[test]
+    fn counts_k4() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .build();
+        let d = orient(&g);
+        let r = TriCore::default().count(&d, &GpuConfig::tiny());
+        assert_eq!(r.triangles, 4);
+        assert!(r.metrics.kernel_cycles > 0);
+    }
+
+    #[test]
+    fn matches_cpu_on_random_graphs() {
+        let gpu = GpuConfig::tiny();
+        for seed in 0..4u64 {
+            let g = erdos_renyi(150, 700, seed);
+            let d = orient(&g);
+            let r = TriCore::default().count(&d, &gpu);
+            assert_eq!(r.triangles, cpu::directed_count(&d), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_cpu_on_skewed_graph() {
+        let g = power_law_configuration(500, 2.1, 8.0, 11);
+        let d = orient(&g);
+        let r = TriCore::default().count(&d, &GpuConfig::titan_xp_like());
+        assert_eq!(r.triangles, cpu::directed_count(&d));
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let d = orient(&tc_graph::CsrGraph::empty(10));
+        let r = TriCore::default().count(&d, &GpuConfig::tiny());
+        assert_eq!(r.triangles, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = power_law_configuration(300, 2.3, 6.0, 5);
+        let d = orient(&g);
+        let gpu = GpuConfig::titan_xp_like();
+        let a = TriCore::default().count(&d, &gpu);
+        let b = TriCore::default().count(&d, &gpu);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_path_variant_counts_exactly() {
+        let g = power_law_configuration(400, 2.2, 8.0, 13);
+        let d = orient(&g);
+        let gpu = GpuConfig::titan_xp_like();
+        let sm = TriCore::sort_merge().count(&d, &gpu);
+        assert_eq!(sm.triangles, cpu::directed_count(&d));
+    }
+
+    #[test]
+    fn binary_search_beats_merge_path_on_skewed_graphs() {
+        let g = power_law_configuration(2000, 2.1, 10.0, 3);
+        let d = orient(&g);
+        let gpu = GpuConfig::titan_xp_like();
+        let bs = TriCore::default().count(&d, &gpu);
+        let sm = TriCore::sort_merge().count(&d, &gpu);
+        assert_eq!(bs.triangles, sm.triangles);
+        assert!(
+            bs.metrics.kernel_cycles < sm.metrics.kernel_cycles,
+            "bs {} should beat sm {}",
+            bs.metrics.kernel_cycles,
+            sm.metrics.kernel_cycles
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Applications built on triangle counting.
+//!
+//! The paper motivates triangle counting as the foundation of several
+//! graph-mining workloads (Section 1): *k-truss* decomposition,
+//! *clustering coefficients*, and triangle-based *link recommendation*.
+//! This crate implements all three on top of the workspace's substrate, so
+//! the repository demonstrates the downstream value of the counting
+//! pipeline, not just the counting itself.
+//!
+//! All three start from the same primitive — per-edge triangle *support*
+//! ([`support::edge_supports`]) — computed exactly with the same sorted
+//! intersection machinery the GPU kernels use.
+
+pub mod clustering;
+pub mod ktruss;
+pub mod recommend;
+pub mod support;
+
+pub use clustering::{clustering_coefficients, global_clustering_coefficient};
+pub use ktruss::{ktruss_decomposition, max_truss};
+pub use recommend::{recommend_for, RecommendScore};
+pub use support::{edge_supports, triangles_per_vertex, EdgeSupport};

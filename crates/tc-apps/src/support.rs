@@ -1,0 +1,104 @@
+//! Per-edge triangle support and per-vertex triangle counts — the shared
+//! primitive of every application in this crate.
+
+use tc_algos::intersect::merge_count;
+use tc_graph::{CsrGraph, VertexId};
+
+/// One undirected edge with its triangle support.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeSupport {
+    /// Smaller endpoint.
+    pub u: VertexId,
+    /// Larger endpoint.
+    pub v: VertexId,
+    /// Number of triangles containing the edge
+    /// (`|N(u) ∩ N(v)|`).
+    pub support: u32,
+}
+
+/// Computes the support of every edge (each listed once, `u < v`).
+///
+/// `O(Σ min(d(u), d(v)))` over edges via sorted-list intersections; the
+/// per-edge outputs sum to three times the triangle count (each triangle
+/// has three edges), which the tests pin against the exact counters.
+pub fn edge_supports(g: &CsrGraph) -> Vec<EdgeSupport> {
+    g.edges()
+        .map(|(u, v)| EdgeSupport {
+            u,
+            v,
+            support: merge_count(g.neighbors(u), g.neighbors(v), None) as u32,
+        })
+        .collect()
+}
+
+/// Number of triangles through each vertex.
+///
+/// `result[v]` counts unordered triangles containing `v`; the vector sums
+/// to three times the global triangle count.
+pub fn triangles_per_vertex(g: &CsrGraph) -> Vec<u64> {
+    let mut counts = vec![0u64; g.num_vertices()];
+    // Count each triangle once at its (u < v < w) representative, then
+    // credit all three corners.
+    let mut shared = Vec::new();
+    for (u, v) in g.edges() {
+        shared.clear();
+        merge_count(g.neighbors(u), g.neighbors(v), Some(&mut shared));
+        for &w in shared.iter().filter(|&&w| w > v) {
+            counts[u as usize] += 1;
+            counts[v as usize] += 1;
+            counts[w as usize] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_algos::cpu;
+    use tc_graph::generators::{erdos_renyi, power_law_configuration};
+    use tc_graph::GraphBuilder;
+
+    fn k4() -> CsrGraph {
+        GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).build()
+    }
+
+    #[test]
+    fn k4_every_edge_supports_two_triangles() {
+        let sup = edge_supports(&k4());
+        assert_eq!(sup.len(), 6);
+        assert!(sup.iter().all(|e| e.support == 2));
+    }
+
+    #[test]
+    fn supports_sum_to_three_times_triangles() {
+        for seed in 0..4u64 {
+            let g = erdos_renyi(100, 400, seed);
+            let total: u64 = edge_supports(&g).iter().map(|e| e.support as u64).sum();
+            assert_eq!(total, 3 * cpu::node_iterator(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn per_vertex_counts_sum_to_three_times_triangles() {
+        let g = power_law_configuration(300, 2.2, 7.0, 5);
+        let per_vertex = triangles_per_vertex(&g);
+        assert_eq!(
+            per_vertex.iter().sum::<u64>(),
+            3 * cpu::node_iterator(&g)
+        );
+    }
+
+    #[test]
+    fn per_vertex_counts_on_k4() {
+        // Every vertex of K4 sits in 3 triangles.
+        assert_eq!(triangles_per_vertex(&k4()), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn triangle_free_graph_has_zero_support() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+        assert!(edge_supports(&g).iter().all(|e| e.support == 0));
+        assert!(triangles_per_vertex(&g).iter().all(|&c| c == 0));
+    }
+}

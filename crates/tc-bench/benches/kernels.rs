@@ -1,0 +1,51 @@
+//! Criterion benchmarks over the six GPU trace generators plus the CPU
+//! baselines: how quickly each algorithm's functional count + simulated
+//! trace executes on a mid-sized dataset.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_algos::cpu;
+use tc_core::DirectionScheme;
+use tc_datasets::Dataset;
+use tc_gpusim::GpuConfig;
+
+fn bench_gpu_algorithms(c: &mut Criterion) {
+    let g = tc_datasets::load(Dataset::EmailEnron);
+    let directed = DirectionScheme::DegreeBased.orient(&g);
+    let gpu = GpuConfig::titan_xp_like();
+    let mut group = c.benchmark_group("gpu-kernels/email-Enron");
+    group.sample_size(10);
+    for algo in tc_algos::all_gpu_algorithms() {
+        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+            b.iter(|| std::hint::black_box(algo.count(&directed, &gpu).triangles));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cpu_baselines(c: &mut Criterion) {
+    let g = tc_datasets::load(Dataset::EmailEnron);
+    let directed = DirectionScheme::DegreeBased.orient(&g);
+    let mut group = c.benchmark_group("cpu-baselines/email-Enron");
+    group.sample_size(10);
+    group.bench_function("node-iterator", |b| {
+        b.iter(|| std::hint::black_box(cpu::node_iterator(&g)))
+    });
+    group.bench_function("edge-iterator", |b| {
+        b.iter(|| std::hint::black_box(cpu::edge_iterator(&g)))
+    });
+    group.bench_function("forward", |b| {
+        b.iter(|| std::hint::black_box(cpu::forward(&g)))
+    });
+    group.bench_function("directed-count", |b| {
+        b.iter(|| std::hint::black_box(cpu::directed_count(&directed)))
+    });
+    group.bench_function("parallel-count (4 threads)", |b| {
+        b.iter(|| std::hint::black_box(cpu::parallel_count(&directed, 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpu_algorithms, bench_cpu_baselines);
+criterion_main!(benches);

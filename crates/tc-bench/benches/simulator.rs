@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the simulator primitives: event engine
+//! throughput, the coalescing model, and the lock-step search kernel.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tc_gpusim::coalesce::{bank_transactions, segments_for_addresses};
+use tc_gpusim::ops::WarpOp;
+use tc_gpusim::search::{lockstep_binary_search, SearchCosts, SearchSpace};
+use tc_gpusim::trace::{BlockTrace, SliceBlockSource, WarpTrace};
+use tc_gpusim::{simulate, GpuConfig};
+
+fn bench_engine(c: &mut Criterion) {
+    // 1000 blocks × 8 warps × 64 ops ≈ 512k events.
+    let warp = WarpTrace::new(
+        (0..64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    WarpOp::GlobalAccess { segments: 4 }
+                } else if i % 3 == 1 {
+                    WarpOp::Compute(8)
+                } else {
+                    WarpOp::SharedAccess { transactions: 2 }
+                }
+            })
+            .collect(),
+    );
+    let blocks: Vec<BlockTrace> = (0..1000)
+        .map(|_| BlockTrace::new(vec![warp.clone(); 8]))
+        .collect();
+    let source = SliceBlockSource::new(blocks);
+    let gpu = GpuConfig::titan_xp_like();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1000 * 8 * 64));
+    group.bench_function("512k warp-ops", |b| {
+        b.iter(|| std::hint::black_box(simulate(&gpu, &source).kernel_cycles));
+    });
+    group.finish();
+}
+
+fn bench_coalescing(c: &mut Criterion) {
+    let scattered: Vec<u64> = (0..32).map(|i| i * 37).collect();
+    let mut group = c.benchmark_group("coalesce");
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("segments_for_addresses/32 lanes", |b| {
+        b.iter(|| std::hint::black_box(segments_for_addresses(scattered.iter().copied())));
+    });
+    group.bench_function("bank_transactions/32 lanes", |b| {
+        b.iter(|| std::hint::black_box(bank_transactions(scattered.iter().copied())));
+    });
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let list: Vec<u32> = (0..4096).map(|i| i * 2).collect();
+    let keys: Vec<u32> = (0..32).map(|i| i * 255 + 1).collect();
+    let mut group = c.benchmark_group("search");
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("lockstep 32 searches / 4096 list", |b| {
+        b.iter(|| {
+            let mut ops = Vec::new();
+            std::hint::black_box(lockstep_binary_search(
+                &list,
+                &keys,
+                SearchSpace::Global { base: 0 },
+                &SearchCosts::default(),
+                &mut ops,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_coalescing, bench_search);
+criterion_main!(benches);

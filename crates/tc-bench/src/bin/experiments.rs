@@ -1,0 +1,153 @@
+//! Experiment CLI: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p tc-bench --bin experiments -- <id> [--small]
+//! ```
+//!
+//! `<id>` ∈ {table2, table3, table5, table6, fig7, fig8, fig9, fig10,
+//! fig11, fig12, fig13, fig14, fig15, fig16, all}. `--small` substitutes
+//! the small dataset suite for a quick smoke run.
+
+use tc_bench::experiments::*;
+use tc_bench::ExperimentEnv;
+use tc_datasets::Dataset;
+
+struct Cli {
+    env: ExperimentEnv,
+    small: bool,
+}
+
+impl Cli {
+    fn suite_or(&self, full: Vec<Dataset>) -> Vec<Dataset> {
+        if self.small {
+            Dataset::small_suite()
+        } else {
+            full
+        }
+    }
+
+    fn run_one(&self, id: &str) -> bool {
+        match id {
+            "table2" => {
+                let rows = table2::run_on(&self.env, &self.suite_or(Dataset::table2_suite()));
+                println!("{}", table2::render(&rows));
+            }
+            "table3" => {
+                println!("{}", table3::render(&table3::run(&self.env)));
+            }
+            "table5" => {
+                let rows =
+                    table5_6::run_table5(&self.env, &self.suite_or(Dataset::table5_suite()));
+                println!("{}", table5_6::render("Table 5", "Hu's fine-grained implementation", &rows));
+            }
+            "table6" => {
+                let rows =
+                    table5_6::run_table6(&self.env, &self.suite_or(Dataset::table5_suite()));
+                println!("{}", table5_6::render("Table 6", "TriCore", &rows));
+            }
+            "fig7" => {
+                println!("{}", fig7::render(&fig7::run()));
+            }
+            "fig8" => {
+                println!("{}", fig8_9::render_fig8(&fig8_9::run(&self.env)));
+            }
+            "fig9" => {
+                println!("{}", fig8_9::render_fig9(&fig8_9::run(&self.env)));
+            }
+            "fig10" => {
+                let rows = fig10::run_on(&self.env, &self.suite_or(fig10::default_suite()));
+                println!("{}", fig10::render(&rows));
+            }
+            "fig11" => {
+                let rows = fig11::run_on(&self.env, &self.suite_or(Dataset::table2_suite()));
+                println!("{}", fig11::render(&rows));
+            }
+            "fig12" => {
+                let rows = fig12_13::run_on(
+                    &self.env,
+                    &self.suite_or(fig12_13::fig12_suite()),
+                    &tc_algos::hu::HuFineGrained::default(),
+                );
+                println!("{}", fig12_13::render("Figure 12", "Hu's algorithm", &rows));
+            }
+            "fig13" => {
+                let rows = fig12_13::run_on(
+                    &self.env,
+                    &self.suite_or(fig12_13::fig13_suite()),
+                    &tc_algos::bisson::Bisson::default(),
+                );
+                println!("{}", fig12_13::render("Figure 13", "Bisson's algorithm", &rows));
+            }
+            "fig14" => {
+                let rows = fig14_15::run_fig14(&self.env, &self.suite_or(fig14_15::default_suite()));
+                println!("{}", fig14_15::render_fig14(&rows));
+            }
+            "fig15" => {
+                let rows = fig14_15::run_fig15(&self.env, &self.suite_or(fig14_15::default_suite()));
+                println!("{}", fig14_15::render_fig15(&rows));
+            }
+            "algorithms" => {
+                let suite = self.suite_or(vec![
+                    Dataset::EmailEnron,
+                    Dataset::Gowalla,
+                    Dataset::KronLogn18,
+                ]);
+                println!("{}", algorithms::render(&self.env, &suite));
+            }
+            "ablation" => {
+                let suite = self.suite_or(vec![Dataset::KronLogn18, Dataset::CitPatent]);
+                println!("{}", ablation::render(&self.env, &suite));
+            }
+            "fig16" => {
+                let rows = fig16::run_on(&self.env, &self.suite_or(fig16::default_suite()));
+                println!("{}", fig16::render(&rows));
+            }
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                return false;
+            }
+        }
+        true
+    }
+}
+
+const ALL: [&str; 16] = [
+    "fig7", "fig8", "fig9", "table3", "fig10", "fig11", "table2", "fig12", "fig13", "table5",
+    "table6", "fig14", "fig15", "fig16", "ablation", "algorithms",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() {
+        eprintln!("usage: experiments <{}|all> [--small]", ALL.join("|"));
+        std::process::exit(2);
+    }
+
+    eprintln!("calibrating model parameters against the simulated GPU...");
+    let cli = Cli {
+        env: ExperimentEnv::new(),
+        small,
+    };
+    eprintln!("lambda = {:.3}", cli.env.params().lambda);
+
+    let mut ok = true;
+    if ids.contains(&"all") {
+        for id in ALL {
+            eprintln!("--- running {id} ---");
+            ok &= cli.run_one(id);
+        }
+    } else {
+        for id in ids {
+            ok &= cli.run_one(id);
+        }
+    }
+    if !ok {
+        std::process::exit(2);
+    }
+}

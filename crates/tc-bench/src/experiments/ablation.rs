@@ -1,0 +1,103 @@
+//! Ablation studies of this reproduction's design choices (not in the
+//! paper, but called out in DESIGN.md):
+//!
+//! 1. **Peel schedule** — the exact smallest-residual-first peel we ship
+//!    as A-direction versus the pseudocode's threshold-doubling schedule,
+//!    in Equation-1 cost and kernel time.
+//! 2. **Bucket size** — A-order's bucket `k` must match the kernel's block
+//!    work-set; sweeping it shows the sensitivity.
+//! 3. **Block residency** — the resource-balance effect depends on how
+//!    many blocks co-reside on an SM; sweeping `blocks_per_sm` shows how
+//!    co-residency erodes the D-order penalty.
+
+use crate::fmt::{ms, Table};
+use crate::runner::{measure, ExperimentEnv};
+use tc_algos::hu::HuFineGrained;
+use tc_core::cost::direction_cost;
+use tc_core::{DirectionScheme, OrderingScheme};
+use tc_datasets::Dataset;
+
+/// Peel-schedule ablation rows: `(dataset, scheme, eq1 cost, kernel ms)`.
+pub fn run_peel(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<(String, String, f64, f64)> {
+    let algo = HuFineGrained::default();
+    let mut rows = Vec::new();
+    for &d in datasets {
+        let g = env.graph(d);
+        for scheme in [
+            DirectionScheme::DegreeBased,
+            DirectionScheme::ADirectionPhased,
+            DirectionScheme::ADirection,
+        ] {
+            let cost = direction_cost(&scheme.orient(&g));
+            let m = measure(env, &g, scheme, OrderingScheme::Original, 64, &algo);
+            rows.push((d.name().to_string(), scheme.name().to_string(), cost, m.kernel_ms));
+        }
+    }
+    rows
+}
+
+/// Bucket-size sweep rows: `(dataset, k, kernel ms)`.
+pub fn run_bucket_sweep(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<(String, usize, f64)> {
+    let mut rows = Vec::new();
+    for &d in datasets {
+        let g = env.graph(d);
+        for k in [16usize, 32, 64, 128, 256] {
+            let algo = HuFineGrained {
+                bucket_size: k,
+                ..HuFineGrained::default()
+            };
+            let m = measure(env, &g, DirectionScheme::DegreeBased, OrderingScheme::AOrder, k, &algo);
+            rows.push((d.name().to_string(), k, m.kernel_ms));
+        }
+    }
+    rows
+}
+
+/// Residency sweep rows: `(blocks_per_sm, D-order ms, A-order ms)`.
+pub fn run_residency_sweep(dataset: Dataset) -> Vec<(usize, f64, f64)> {
+    let mut rows = Vec::new();
+    for bps in [1usize, 2, 4, 8] {
+        let mut gpu = tc_gpusim::GpuConfig::titan_xp_like();
+        gpu.blocks_per_sm = bps;
+        let env = crate::runner::ExperimentEnv::with_gpu(gpu);
+        let g = env.graph(dataset);
+        let algo = HuFineGrained::default();
+        let d_order = measure(
+            &env, &g, DirectionScheme::DegreeBased, OrderingScheme::DegreeOrder, 64, &algo,
+        );
+        let a_order = measure(
+            &env, &g, DirectionScheme::DegreeBased, OrderingScheme::AOrder, 64, &algo,
+        );
+        rows.push((bps, d_order.kernel_ms, a_order.kernel_ms));
+    }
+    rows
+}
+
+/// Renders all three studies.
+pub fn render(env: &ExperimentEnv, datasets: &[Dataset]) -> String {
+    let mut out = String::from("Ablation 1: peel schedule (Equation-1 cost and Hu kernel ms)\n");
+    let mut t = Table::new(["dataset", "scheme", "eq1 cost", "kernel ms"]);
+    for (d, s, c, k) in run_peel(env, datasets) {
+        t.row([d, s, format!("{c:.0}"), ms(k)]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation 2: A-order bucket size (Hu kernel ms; k must match the kernel)\n");
+    let mut t = Table::new(["dataset", "k", "kernel ms"]);
+    for (d, k, v) in run_bucket_sweep(env, datasets) {
+        t.row([d, k.to_string(), ms(v)]);
+    }
+    out.push_str(&t.render());
+
+    let ds = datasets.first().copied().unwrap_or(Dataset::KronLogn18);
+    out.push_str(&format!(
+        "\nAblation 3: block residency on {} (Hu kernel ms; co-residency hides\nthe D-order penalty by mixing blocks on the SM)\n",
+        ds.name()
+    ));
+    let mut t = Table::new(["blocks/SM", "D-order", "A-order"]);
+    for (bps, d, a) in run_residency_sweep(ds) {
+        t.row([bps.to_string(), ms(d), ms(a)]);
+    }
+    out.push_str(&t.render());
+    out
+}

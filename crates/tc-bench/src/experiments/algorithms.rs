@@ -1,0 +1,77 @@
+//! Cross-algorithm overview (context for the paper's introduction, which
+//! cites 9–260× GPU-over-serial-CPU speedups): all six GPU algorithms'
+//! simulated kernel times side by side, plus the CPU baselines' wall
+//! times on the same host, on one preprocessing configuration.
+//!
+//! The two time columns are *not* directly comparable (simulated GPU
+//! cycles vs this machine's wall clock); the intra-column orderings are
+//! the meaningful output.
+
+use crate::fmt::{ms, Table};
+use crate::runner::ExperimentEnv;
+use std::time::Instant;
+use tc_algos::cpu;
+use tc_core::{DirectionScheme, OrderingScheme, Preprocessor};
+use tc_datasets::Dataset;
+
+/// GPU rows: `(algorithm, dataset, kernel ms, triangles)`.
+pub fn run_gpu(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<(String, String, f64, u64)> {
+    let mut rows = Vec::new();
+    for &d in datasets {
+        let g = env.graph(d);
+        let prep = Preprocessor::new()
+            .direction(DirectionScheme::DegreeBased)
+            .ordering(OrderingScheme::Original)
+            .run(&g);
+        for algo in tc_algos::all_gpu_algorithms() {
+            let run = algo.count(prep.directed(), env.gpu());
+            rows.push((
+                algo.name().to_string(),
+                d.name().to_string(),
+                run.kernel_ms(env.gpu()),
+                run.triangles,
+            ));
+        }
+    }
+    rows
+}
+
+/// CPU rows: `(baseline, dataset, wall ms, triangles)`.
+pub fn run_cpu(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<(String, String, f64, u64)> {
+    let mut rows = Vec::new();
+    for &d in datasets {
+        let g = env.graph(d);
+        let directed = DirectionScheme::DegreeBased.orient(&g);
+        let timed = |name: &str, f: &dyn Fn() -> u64| {
+            let t = Instant::now();
+            let tri = f();
+            (name.to_string(), d.name().to_string(), t.elapsed().as_secs_f64() * 1e3, tri)
+        };
+        rows.push(timed("edge-iterator", &|| cpu::edge_iterator(&g)));
+        rows.push(timed("forward", &|| cpu::forward(&g)));
+        rows.push(timed("directed merge", &|| cpu::directed_count(&directed)));
+        rows.push(timed("hashed", &|| cpu::hashed_count(&directed)));
+        rows.push(timed("parallel x8", &|| cpu::parallel_count(&directed, 8)));
+    }
+    rows
+}
+
+/// Renders both tables.
+pub fn render(env: &ExperimentEnv, datasets: &[Dataset]) -> String {
+    let mut out = String::from(
+        "Algorithm overview (D-direction + original order)\n\nSimulated GPU kernels:\n",
+    );
+    let mut t = Table::new(["algorithm", "dataset", "kernel ms", "triangles"]);
+    for (a, d, k, tri) in run_gpu(env, datasets) {
+        t.row([a, d, ms(k), tri.to_string()]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nCPU baselines (wall-clock on this host):\n");
+    let mut t = Table::new(["baseline", "dataset", "wall ms", "triangles"]);
+    for (a, d, k, tri) in run_cpu(env, datasets) {
+        t.row([a, d, ms(k), tri.to_string()]);
+    }
+    out.push_str(&t.render());
+    out
+}

@@ -1,0 +1,86 @@
+//! Figure 10: binary search vs sort-merge intersection on Gunrock and
+//! TriCore (Section 6.2).
+//!
+//! The paper shows binary search beating sort-merge on both hosts across
+//! its datasets, justifying the resource-balance model's focus on binary
+//! search.
+
+use crate::fmt::{ms, Table};
+use crate::runner::{measure, ExperimentEnv};
+use tc_algos::gunrock::Gunrock;
+use tc_algos::tricore::TriCore;
+use tc_core::{DirectionScheme, OrderingScheme};
+use tc_datasets::Dataset;
+
+/// One dataset's four bars.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Gunrock with binary search.
+    pub gunrock_bs: f64,
+    /// Gunrock with sort-merge.
+    pub gunrock_sm: f64,
+    /// TriCore with binary search.
+    pub tricore_bs: f64,
+    /// TriCore with merge path.
+    pub tricore_sm: f64,
+}
+
+/// Default dataset list (six representative graphs).
+pub fn default_suite() -> Vec<Dataset> {
+    use Dataset::*;
+    vec![EmailEnron, EmailEuall, Gowalla, CitPatent, WikiTopcats, KronLogn18]
+}
+
+/// Runs the comparison.
+pub fn run_on(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<Row> {
+    datasets
+        .iter()
+        .map(|&d| {
+            let g = env.graph(d);
+            let kernel = |algo: &dyn tc_algos::GpuTriangleCounter| -> f64 {
+                measure(
+                    env,
+                    &g,
+                    DirectionScheme::DegreeBased,
+                    OrderingScheme::Original,
+                    64,
+                    algo,
+                )
+                .kernel_ms
+            };
+            Row {
+                dataset: d.name(),
+                gunrock_bs: kernel(&Gunrock::binary_search()),
+                gunrock_sm: kernel(&Gunrock::sort_merge()),
+                tricore_bs: kernel(&TriCore::default()),
+                tricore_sm: kernel(&TriCore::sort_merge()),
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparison.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "dataset",
+        "gunrock_bs",
+        "gunrock_sm",
+        "tricore_bs",
+        "tricore_sm",
+    ]);
+    for r in rows {
+        t.row([
+            r.dataset.to_string(),
+            ms(r.gunrock_bs),
+            ms(r.gunrock_sm),
+            ms(r.tricore_bs),
+            ms(r.tricore_sm),
+        ]);
+    }
+    format!(
+        "Figure 10: binary search vs sort-merge (kernel ms; paper: bs wins on both hosts)\n{}",
+        t.render()
+    )
+}

@@ -1,0 +1,75 @@
+//! Figure 11: Equation-1 cost decline of A-direction versus D-direction
+//! and ID-based directing, per degree threshold.
+//!
+//! The thresholded cost counts only vertices with `d̃ > k·d̃_avg` — the
+//! heavy vertices that actually stall supersteps. The paper reports ~10%
+//! decline vs D-direction for k ≥ 4 on all four datasets, and much larger
+//! declines vs ID-based.
+
+use crate::fmt::{pct, Table};
+use crate::runner::ExperimentEnv;
+use tc_core::cost::direction_cost_thresholded;
+use tc_core::DirectionScheme;
+use tc_datasets::Dataset;
+
+/// Cost declines for one dataset at each threshold.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// `(k, decline vs D-direction, decline vs ID-based)` per threshold.
+    pub declines: Vec<(f64, f64, f64)>,
+}
+
+/// Thresholds swept (the paper's x-axis).
+pub fn thresholds() -> Vec<f64> {
+    vec![0.0, 1.0, 2.0, 4.0, 6.0, 8.0]
+}
+
+/// Runs the sweep over the Table 2 datasets.
+pub fn run(env: &ExperimentEnv) -> Vec<Row> {
+    run_on(env, &Dataset::table2_suite())
+}
+
+/// Runs the sweep over an explicit dataset list.
+pub fn run_on(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<Row> {
+    datasets
+        .iter()
+        .map(|&ds| {
+            let g = env.graph(ds);
+            let a = DirectionScheme::ADirection.orient(&g);
+            let d = DirectionScheme::DegreeBased.orient(&g);
+            let id = DirectionScheme::IdBased.orient(&g);
+            let declines = thresholds()
+                .into_iter()
+                .map(|k| {
+                    let ca = direction_cost_thresholded(&a, k);
+                    let cd = direction_cost_thresholded(&d, k);
+                    let cid = direction_cost_thresholded(&id, k);
+                    let vs_d = if cd > 0.0 { 1.0 - ca / cd } else { 0.0 };
+                    let vs_id = if cid > 0.0 { 1.0 - ca / cid } else { 0.0 };
+                    (k, vs_d, vs_id)
+                })
+                .collect();
+            Row {
+                dataset: ds.name(),
+                declines,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Figure 11: Equation-1 cost decline of A-direction (positive = A-direction lower)\n",
+    );
+    for r in rows {
+        let mut t = Table::new(["threshold k", "vs D-direction", "vs ID-based"]);
+        for &(k, vs_d, vs_id) in &r.declines {
+            t.row([format!("{k:.0}"), pct(vs_d), pct(vs_id)]);
+        }
+        out.push_str(&format!("\n[{}]\n{}", r.dataset, t.render()));
+    }
+    out
+}

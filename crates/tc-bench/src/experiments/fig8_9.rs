@@ -1,0 +1,50 @@
+//! Figures 8 and 9: the parameter-determination experiments (Section 5.3).
+//!
+//! Figure 8 sweeps adjacency-list length and reports (left axis) achieved
+//! shared-memory bandwidth and (right axis) the computing-pressure
+//! headroom `p_c` before a 5% slowdown. Figure 9 shows the linear fit
+//! `m = λ · (p_c · c)` those measurements induce; the paper's Titan Xp
+//! gave λ = 9.682, ours is whatever the simulator's calibration yields.
+
+use crate::fmt::Table;
+use crate::runner::ExperimentEnv;
+use tc_core::model::calibration::{calibrate, Calibration};
+
+/// Runs the calibration sweep against the environment's GPU.
+pub fn run(env: &ExperimentEnv) -> Calibration {
+    calibrate(env.gpu())
+}
+
+/// Renders the Figure 8 sweep.
+pub fn render_fig8(cal: &Calibration) -> String {
+    let mut t = Table::new(["list length", "shared BW (B/cycle)", "p_c"]);
+    for p in &cal.profile {
+        t.row([
+            p.list_len.to_string(),
+            format!("{:.3}", p.shared_bandwidth),
+            p.p_c.to_string(),
+        ]);
+    }
+    format!(
+        "Figure 8: shared-memory bandwidth and computing pressure vs list length\n{}",
+        t.render()
+    )
+}
+
+/// Renders the Figure 9 fit.
+pub fn render_fig9(cal: &Calibration) -> String {
+    let mut t = Table::new(["x = p_c * F_c", "y = F_m", "lambda * x"]);
+    for &(x, y) in &cal.fit_points {
+        t.row([
+            format!("{x:.4}"),
+            format!("{y:.4}"),
+            format!("{:.4}", cal.params.lambda * x),
+        ]);
+    }
+    format!
+    (
+        "Figure 9: balance-point fit m = lambda * (p_c * c)\n\
+         lambda = {:.3} (paper's Titan Xp: 9.682), R^2 = {:.4}\n{}",
+        cal.params.lambda, cal.r_squared, t.render()
+    )
+}

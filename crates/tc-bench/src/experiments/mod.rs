@@ -1,0 +1,14 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablation;
+pub mod algorithms;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12_13;
+pub mod fig14_15;
+pub mod fig16;
+pub mod fig7;
+pub mod fig8_9;
+pub mod table2;
+pub mod table3;
+pub mod table5_6;

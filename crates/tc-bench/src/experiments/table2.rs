@@ -1,0 +1,93 @@
+//! Table 2: kernel running time of Hu's algorithm under different vertex
+//! reorder strategies (D-order, A-order, Original) and edge direction
+//! strategies (D-direction, ID-based, A-direction).
+//!
+//! Paper reference values (ms on a Titan Xp):
+//!
+//! | dataset     | D-order | A-order | D-dir | ID   | A-dir |
+//! |-------------|---------|---------|-------|------|-------|
+//! | gowalla     | 26      | 7       | 9     | 13   | 6     |
+//! | cit-patent  | 4900    | 104     | 130   | 648  | 102   |
+//! | roadcentral | 499     | 420     | 463   | 996  | 382   |
+//! | kron-log21  | 9611    | 5020    | 8042  | 10982| 5230  |
+//!
+//! The first two columns fix D-direction and vary the ordering; the last
+//! three fix the Original ordering and vary the direction.
+
+use crate::fmt::{ms, Table};
+use crate::runner::{measure, ExperimentEnv};
+use tc_algos::hu::HuFineGrained;
+use tc_core::{DirectionScheme, OrderingScheme};
+use tc_datasets::Dataset;
+
+/// One row of the table, in milliseconds.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// D-order + D-direction.
+    pub d_order: f64,
+    /// A-order + D-direction.
+    pub a_order: f64,
+    /// Original order + D-direction.
+    pub d_direction: f64,
+    /// Original order + ID-based direction.
+    pub id_based: f64,
+    /// Original order + A-direction.
+    pub a_direction: f64,
+}
+
+/// Runs the experiment over the paper's four datasets.
+pub fn run(env: &ExperimentEnv) -> Vec<Row> {
+    run_on(env, &Dataset::table2_suite())
+}
+
+/// Runs the experiment over an explicit dataset list.
+pub fn run_on(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<Row> {
+    let algo = HuFineGrained::default();
+    let k = algo.bucket_size;
+    datasets
+        .iter()
+        .map(|&d| {
+            let g = env.graph(d);
+            let kernel = |dir: DirectionScheme, ord: OrderingScheme| -> f64 {
+                measure(env, &g, dir, ord, k, &algo).kernel_ms
+            };
+            Row {
+                dataset: d.name(),
+                d_order: kernel(DirectionScheme::DegreeBased, OrderingScheme::DegreeOrder),
+                a_order: kernel(DirectionScheme::DegreeBased, OrderingScheme::AOrder),
+                d_direction: kernel(DirectionScheme::DegreeBased, OrderingScheme::Original),
+                id_based: kernel(DirectionScheme::IdBased, OrderingScheme::Original),
+                a_direction: kernel(DirectionScheme::ADirection, OrderingScheme::Original),
+            }
+        })
+        .collect()
+}
+
+/// Renders rows in the paper's layout.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "dataset",
+        "D-order",
+        "A-order",
+        "D-direction",
+        "ID-based",
+        "A-direction",
+    ]);
+    for r in rows {
+        t.row([
+            r.dataset.to_string(),
+            ms(r.d_order),
+            ms(r.a_order),
+            ms(r.d_direction),
+            ms(r.id_based),
+            ms(r.a_direction),
+        ]);
+    }
+    format!(
+        "Table 2: Hu's kernel time (ms) under reorder and direction strategies\n\
+         (columns 2-3: D-direction fixed; columns 4-6: Original order fixed)\n{}",
+        t.render()
+    )
+}

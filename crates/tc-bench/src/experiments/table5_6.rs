@@ -1,0 +1,130 @@
+//! Tables 5 and 6: the reordering evaluation on Hu's algorithm (Table 5)
+//! and TriCore (Table 6).
+//!
+//! Seven orderings — Original, D-order, DFS, BFS-R, SlashBurn, GRO,
+//! A-order — under the fixed D-direction. The paper reports kernel and
+//! total (kernel + reordering) time per strategy; the published baselines
+//! often improve the kernel but lose on total time because their
+//! preprocessing dwarfs the kernel, while A-order's near-linear pass wins
+//! on both.
+
+use crate::fmt::{ms, pct, Table};
+use crate::runner::{measure, ExperimentEnv, RunMeasurement};
+use tc_algos::hu::HuFineGrained;
+use tc_algos::tricore::TriCore;
+use tc_algos::GpuTriangleCounter;
+use tc_core::{DirectionScheme, OrderingScheme};
+use tc_datasets::Dataset;
+
+/// One dataset's sweep over all orderings.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// `(scheme, measurement)` per ordering, in [`OrderingScheme::all`]'s
+    /// order.
+    pub runs: Vec<(OrderingScheme, RunMeasurement)>,
+}
+
+impl Row {
+    /// The measurement for one scheme.
+    pub fn get(&self, scheme: OrderingScheme) -> &RunMeasurement {
+        &self
+            .runs
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .expect("every scheme measured")
+            .1
+    }
+
+    /// Kernel speedup of A-order over the original ordering.
+    pub fn kernel_speedup(&self) -> f64 {
+        1.0 - self.get(OrderingScheme::AOrder).kernel_ms
+            / self.get(OrderingScheme::Original).kernel_ms
+    }
+
+    /// Total-time speedup of A-order over the original ordering.
+    pub fn total_speedup(&self) -> f64 {
+        1.0 - self.get(OrderingScheme::AOrder).total_with_ordering_ms()
+            / self.get(OrderingScheme::Original).kernel_ms
+    }
+}
+
+/// Runs the sweep for one algorithm over the Table 5/6 dataset suite.
+pub fn run_on(
+    env: &ExperimentEnv,
+    datasets: &[Dataset],
+    algo: &dyn GpuTriangleCounter,
+    bucket_size: usize,
+) -> Vec<Row> {
+    datasets
+        .iter()
+        .map(|&d| {
+            let g = env.graph(d);
+            let runs = OrderingScheme::all()
+                .into_iter()
+                .map(|scheme| {
+                    (
+                        scheme,
+                        measure(
+                            env,
+                            &g,
+                            DirectionScheme::DegreeBased,
+                            scheme,
+                            bucket_size,
+                            algo,
+                        ),
+                    )
+                })
+                .collect();
+            Row {
+                dataset: d.name(),
+                runs,
+            }
+        })
+        .collect()
+}
+
+/// Table 5: Hu's algorithm.
+pub fn run_table5(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<Row> {
+    let algo = HuFineGrained::default();
+    run_on(env, datasets, &algo, algo.bucket_size)
+}
+
+/// Table 6: TriCore.
+pub fn run_table6(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<Row> {
+    run_on(env, datasets, &TriCore::default(), 64)
+}
+
+/// Renders either table in the paper's layout.
+pub fn render(table: &str, algo_name: &str, rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "dataset", "Origin", "D-order", "DFS k", "DFS t", "BFS-R k", "BFS-R t", "SlashB k",
+        "SlashB t", "GRO k", "GRO t", "A-ord k", "A-ord t", "speedup k", "speedup t",
+    ]);
+    for r in rows {
+        let g = |s: OrderingScheme| r.get(s);
+        t.row([
+            r.dataset.to_string(),
+            ms(g(OrderingScheme::Original).kernel_ms),
+            ms(g(OrderingScheme::DegreeOrder).kernel_ms),
+            ms(g(OrderingScheme::Dfs).kernel_ms),
+            ms(g(OrderingScheme::Dfs).total_with_ordering_ms()),
+            ms(g(OrderingScheme::BfsR).kernel_ms),
+            ms(g(OrderingScheme::BfsR).total_with_ordering_ms()),
+            ms(g(OrderingScheme::SlashBurn).kernel_ms),
+            ms(g(OrderingScheme::SlashBurn).total_with_ordering_ms()),
+            ms(g(OrderingScheme::Gro).kernel_ms),
+            ms(g(OrderingScheme::Gro).total_with_ordering_ms()),
+            ms(g(OrderingScheme::AOrder).kernel_ms),
+            ms(g(OrderingScheme::AOrder).total_with_ordering_ms()),
+            pct(r.kernel_speedup()),
+            pct(r.total_speedup()),
+        ]);
+    }
+    format!(
+        "{table}: reorder strategies on {algo_name} (k = kernel ms, t = kernel + reorder ms;\n\
+         speedup = A-order vs Origin)\n{}",
+        t.render()
+    )
+}

@@ -1,0 +1,15 @@
+//! Experiment harness: one module per table/figure of the paper's
+//! evaluation (Section 6), shared runner utilities, and plain-text table
+//! rendering.
+//!
+//! Regenerate any experiment with
+//! `cargo run --release -p tc-bench --bin experiments -- <id>`, where
+//! `<id>` is `table2`, `table3`, `table5`, `table6`, `fig7` … `fig16`, or
+//! `all`. Results print as aligned text tables; `EXPERIMENTS.md` records a
+//! reference run against the paper's numbers.
+
+pub mod experiments;
+pub mod fmt;
+pub mod runner;
+
+pub use runner::{ExperimentEnv, RunMeasurement};

@@ -1,0 +1,156 @@
+//! Shared experiment plumbing: the GPU environment, calibrated model
+//! parameters, and a measured preprocessing + kernel run.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use tc_algos::{GpuTriangleCounter, RunResult};
+use tc_core::model::{calibrate, ModelParams};
+use tc_core::{DirectionScheme, OrderingScheme, Preprocessor};
+use tc_datasets::Dataset;
+use tc_gpusim::GpuConfig;
+use tc_graph::CsrGraph;
+
+/// The environment every experiment runs in: one GPU configuration plus
+/// the model parameters calibrated against it (the paper calibrates once
+/// per GPU and reuses the parameters across datasets — Section 5.3).
+pub struct ExperimentEnv {
+    gpu: GpuConfig,
+    params: ModelParams,
+    graphs: Mutex<HashMap<Dataset, CsrGraph>>,
+}
+
+impl ExperimentEnv {
+    /// Builds the default environment: Titan-Xp-like GPU, full calibration.
+    pub fn new() -> Self {
+        let gpu = GpuConfig::titan_xp_like();
+        Self::with_gpu(gpu)
+    }
+
+    /// Environment for an explicit GPU configuration.
+    pub fn with_gpu(gpu: GpuConfig) -> Self {
+        let params = calibrate(&gpu).params;
+        Self {
+            gpu,
+            params,
+            graphs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The GPU configuration.
+    pub fn gpu(&self) -> &GpuConfig {
+        &self.gpu
+    }
+
+    /// Calibrated model parameters.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// Loads (and memoizes) a dataset stand-in.
+    pub fn graph(&self, dataset: Dataset) -> CsrGraph {
+        self.graphs
+            .lock()
+            .expect("poisoned")
+            .entry(dataset)
+            .or_insert_with(|| tc_datasets::load(dataset))
+            .clone()
+    }
+}
+
+impl Default for ExperimentEnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One measured (preprocess + kernel) run.
+#[derive(Clone, Debug)]
+pub struct RunMeasurement {
+    /// Exact triangle count (sanity-checked by callers).
+    pub triangles: u64,
+    /// Simulated kernel time in milliseconds.
+    pub kernel_ms: f64,
+    /// Wall-clock time of the edge-directing stage.
+    pub direction_ms: f64,
+    /// Wall-clock time of the reordering stage.
+    pub ordering_ms: f64,
+    /// Full run result (metrics included).
+    pub result: RunResult,
+}
+
+impl RunMeasurement {
+    /// Kernel + direction time (the Figure 12/13 "total" accounting).
+    pub fn total_with_direction_ms(&self) -> f64 {
+        self.kernel_ms + self.direction_ms
+    }
+
+    /// Kernel + ordering time (the Table 5/6 "total" accounting).
+    pub fn total_with_ordering_ms(&self) -> f64 {
+        self.kernel_ms + self.ordering_ms
+    }
+
+    /// Kernel + all preprocessing (the combined Figure 16 accounting).
+    pub fn total_ms(&self) -> f64 {
+        self.kernel_ms + self.direction_ms + self.ordering_ms
+    }
+}
+
+/// Preprocesses `g` with the given schemes and runs `algo` on the result.
+pub fn measure(
+    env: &ExperimentEnv,
+    g: &CsrGraph,
+    direction: DirectionScheme,
+    ordering: OrderingScheme,
+    bucket_size: usize,
+    algo: &dyn GpuTriangleCounter,
+) -> RunMeasurement {
+    let prep = Preprocessor::new()
+        .direction(direction)
+        .ordering(ordering)
+        .bucket_size(bucket_size)
+        .params(env.params.clone())
+        .run(g);
+    let result = algo.count(prep.directed(), &env.gpu);
+    RunMeasurement {
+        triangles: result.triangles,
+        kernel_ms: env.gpu.cycles_to_ms(result.metrics.kernel_cycles),
+        direction_ms: prep.timings.direction_ms(),
+        ordering_ms: prep.timings.ordering_ms(),
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_algos::hu::HuFineGrained;
+
+    #[test]
+    fn measure_runs_end_to_end() {
+        let mut gpu = GpuConfig::titan_xp_like();
+        gpu.num_sms = 4;
+        let env = ExperimentEnv::with_gpu(gpu);
+        let g = env.graph(Dataset::EmailEucore);
+        let m = measure(
+            &env,
+            &g,
+            DirectionScheme::ADirection,
+            OrderingScheme::AOrder,
+            64,
+            &HuFineGrained::default(),
+        );
+        assert!(m.triangles > 0);
+        assert!(m.kernel_ms > 0.0);
+        assert!(m.total_ms() >= m.kernel_ms);
+    }
+
+    #[test]
+    fn graphs_are_memoized() {
+        let mut gpu = GpuConfig::titan_xp_like();
+        gpu.num_sms = 2;
+        let env = ExperimentEnv::with_gpu(gpu);
+        let a = env.graph(Dataset::EmailEucore);
+        let b = env.graph(Dataset::EmailEucore);
+        assert_eq!(a, b);
+    }
+}

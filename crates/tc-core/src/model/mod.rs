@@ -1,0 +1,7 @@
+//! The resource-intensity model: `F_c`, `F_m`, λ, and their calibration.
+
+pub mod calibration;
+pub mod intensity;
+
+pub use calibration::calibrate;
+pub use intensity::{BwCurve, ModelParams};

@@ -1,0 +1,164 @@
+//! The two-heap balanced bucket filler shared by vertex- and edge-level
+//! A-order (the core of Algorithm 2).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// `f64` with a total order, usable as a heap key. The simulator and
+/// models never produce NaN, but `total_cmp` keeps the order lawful even
+/// if one slips through.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Distributes items into `num_buckets` capacity-bounded buckets so that
+/// each bucket's summed *memory superiority* stays near zero.
+///
+/// Exactly Algorithm 2: memory-dominated items (positive superiority) go
+/// one by one into the bucket with the *least* accumulated superiority
+/// (min-queue pass); compute-dominated items then go into the bucket with
+/// the *most* (max-queue pass). Buckets at capacity leave the queue.
+///
+/// `items` are `(id, memory_superiority)`; returns the bucket contents in
+/// bucket order. Deterministic: ties broken by bucket index.
+pub(crate) fn balanced_buckets(
+    items: &[(u32, f64)],
+    num_buckets: usize,
+    capacity: usize,
+) -> Vec<Vec<u32>> {
+    assert!(num_buckets >= 1, "need at least one bucket");
+    assert!(
+        num_buckets * capacity >= items.len(),
+        "buckets cannot hold all items"
+    );
+    let mut contents: Vec<Vec<u32>> = vec![Vec::new(); num_buckets];
+    let mut mem_sup = vec![0f64; num_buckets];
+
+    let memory_items = items.iter().filter(|&&(_, s)| s > 0.0);
+    let compute_items = items.iter().filter(|&&(_, s)| s <= 0.0);
+
+    // Pass 1: memory-dominated into the least-loaded (min-queue).
+    let mut min_q: BinaryHeap<Reverse<(OrdF64, usize)>> = (0..num_buckets)
+        .map(|b| Reverse((OrdF64(0.0), b)))
+        .collect();
+    for &(id, sup) in memory_items {
+        let b = loop {
+            let Reverse((key, b)) = min_q.pop().expect("capacity checked");
+            // Skip stale entries and full buckets.
+            if key.0 == mem_sup[b] && contents[b].len() < capacity {
+                break b;
+            }
+            if contents[b].len() < capacity {
+                // Stale key: reinsert with the current value.
+                min_q.push(Reverse((OrdF64(mem_sup[b]), b)));
+            }
+        };
+        contents[b].push(id);
+        mem_sup[b] += sup;
+        if contents[b].len() < capacity {
+            min_q.push(Reverse((OrdF64(mem_sup[b]), b)));
+        }
+    }
+
+    // Pass 2: compute-dominated into the most-loaded (max-queue).
+    let mut max_q: BinaryHeap<(OrdF64, usize)> = (0..num_buckets)
+        .filter(|&b| contents[b].len() < capacity)
+        .map(|b| (OrdF64(mem_sup[b]), b))
+        .collect();
+    for &(id, sup) in compute_items {
+        let b = loop {
+            let (key, b) = max_q.pop().expect("capacity checked");
+            if key.0 == mem_sup[b] && contents[b].len() < capacity {
+                break b;
+            }
+            if contents[b].len() < capacity {
+                max_q.push((OrdF64(mem_sup[b]), b));
+            }
+        };
+        contents[b].push(id);
+        mem_sup[b] += sup;
+        if contents[b].len() < capacity {
+            max_q.push((OrdF64(mem_sup[b]), b));
+        }
+    }
+
+    contents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_items_are_placed_exactly_once() {
+        let items: Vec<(u32, f64)> = (0..100)
+            .map(|i| (i, if i % 3 == 0 { 2.0 } else { -1.0 }))
+            .collect();
+        let buckets = balanced_buckets(&items, 10, 10);
+        let mut seen: Vec<u32> = buckets.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        for b in &buckets {
+            assert!(b.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn heavy_and_light_items_are_mixed() {
+        // 4 memory monsters and 4 compute monsters into 4 buckets of 2:
+        // each bucket must get exactly one of each.
+        let items = vec![
+            (0, 10.0),
+            (1, 10.0),
+            (2, 10.0),
+            (3, 10.0),
+            (4, -10.0),
+            (5, -10.0),
+            (6, -10.0),
+            (7, -10.0),
+        ];
+        let buckets = balanced_buckets(&items, 4, 2);
+        for (i, b) in buckets.iter().enumerate() {
+            let mems = b.iter().filter(|&&id| id < 4).count();
+            assert_eq!(mems, 1, "bucket {i} must mix one memory item: {b:?}");
+        }
+    }
+
+    #[test]
+    fn capacity_is_respected_under_skew() {
+        // All items memory-dominated: they must spread despite the
+        // min-queue preferring the emptiest bucket.
+        let items: Vec<(u32, f64)> = (0..30).map(|i| (i, 1.0 + i as f64)).collect();
+        let buckets = balanced_buckets(&items, 6, 5);
+        for b in &buckets {
+            assert_eq!(b.len(), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn overflow_is_rejected() {
+        let items: Vec<(u32, f64)> = (0..10).map(|i| (i, 1.0)).collect();
+        let _ = balanced_buckets(&items, 3, 3);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_buckets() {
+        let buckets = balanced_buckets(&[], 3, 4);
+        assert_eq!(buckets.len(), 3);
+        assert!(buckets.iter().all(Vec::is_empty));
+    }
+}

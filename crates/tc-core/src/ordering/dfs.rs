@@ -1,0 +1,64 @@
+//! DFS preorder (Shun's reordering baseline).
+
+use tc_graph::{CsrGraph, Permutation, VertexId};
+
+/// Relabels vertices by iterative depth-first preorder, starting a new
+/// traversal at every unvisited vertex in ascending id order.
+pub fn dfs_permutation(g: &CsrGraph) -> Permutation {
+    let n = g.num_vertices();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut stack: Vec<VertexId> = Vec::new();
+    for root in g.vertices() {
+        if visited[root as usize] {
+            continue;
+        }
+        stack.push(root);
+        while let Some(v) = stack.pop() {
+            if visited[v as usize] {
+                continue;
+            }
+            visited[v as usize] = true;
+            order.push(v);
+            // Push neighbours in reverse so the smallest id is visited
+            // first (true preorder).
+            for &nbr in g.neighbors(v).iter().rev() {
+                if !visited[nbr as usize] {
+                    stack.push(nbr);
+                }
+            }
+        }
+    }
+    Permutation::from_order(&order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_graph::GraphBuilder;
+
+    #[test]
+    fn path_graph_preorder_is_sequential() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).build();
+        let p = dfs_permutation(&g);
+        // DFS from 0 walks the path: order 0,1,2,3 → identity.
+        assert_eq!(p, Permutation::identity(4));
+    }
+
+    #[test]
+    fn disconnected_components_each_get_a_root() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (3, 4)]).build();
+        let p = dfs_permutation(&g);
+        assert_eq!(p.len(), 5);
+        // Vertex 2 is isolated: visited between the components.
+        assert_eq!(p.map(2), 2);
+    }
+
+    #[test]
+    fn preorder_visits_smallest_neighbor_first() {
+        // Star center 0 with leaves 1, 2, 3: preorder 0, 1, 2, 3.
+        let g = GraphBuilder::from_edges(4, &[(0, 2), (0, 1), (0, 3)]).build();
+        let p = dfs_permutation(&g);
+        assert_eq!(p, Permutation::identity(4));
+    }
+}

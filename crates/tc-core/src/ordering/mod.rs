@@ -1,0 +1,147 @@
+//! Vertex (and edge) reordering schemes (Section 5).
+//!
+//! A block fetches consecutive vertex ids as its work set, so relabelling
+//! vertices chooses the block task assignment. [`a_order`] is the paper's
+//! contribution; [`dfs`], [`bfs_r`], [`slashburn`] and [`gro`] are the
+//! published reorderings Tables 5 and 6 compare against (all reimplemented
+//! here — their preprocessing cost is part of the comparison).
+
+pub mod a_order;
+pub mod bfs_r;
+pub mod buckets;
+pub mod dfs;
+pub mod edge_reorder;
+pub mod gro;
+pub mod slashburn;
+
+pub use a_order::a_order_permutation;
+pub use edge_reorder::a_order_edges;
+
+use crate::model::ModelParams;
+use tc_graph::{CsrGraph, Permutation};
+
+/// Inputs the parameterized schemes need.
+pub struct OrderingContext<'a> {
+    /// Out-degrees under the chosen edge direction (`d̃(v)`), indexed by
+    /// vertex id. A-order's intensities are functions of these.
+    pub out_degrees: &'a [usize],
+    /// Calibrated (or analytic) intensity model.
+    pub params: &'a ModelParams,
+    /// Bucket capacity `k`: one GPU block processes `k` consecutive ids.
+    pub bucket_size: usize,
+}
+
+/// The vertex-ordering strategies the paper evaluates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OrderingScheme {
+    /// Keep the input labelling.
+    #[default]
+    Original,
+    /// Degree-descending ("D-order") — the paper's negative example:
+    /// grouping same-degree vertices maximizes resource conflicts.
+    DegreeOrder,
+    /// The paper's analytic balanced ordering (Algorithm 2).
+    AOrder,
+    /// Depth-first preorder (Shun's ordering).
+    Dfs,
+    /// Recursive BFS bisection (Blandford–Blelloch–Kash).
+    BfsR,
+    /// Hub removal + spoke grouping (Lim–Kang–Faloutsos).
+    SlashBurn,
+    /// Greedy compactness maximization (Han–Zou–Yu).
+    Gro,
+}
+
+impl OrderingScheme {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OrderingScheme::Original => "Origin",
+            OrderingScheme::DegreeOrder => "D-order",
+            OrderingScheme::AOrder => "A-order",
+            OrderingScheme::Dfs => "DFS",
+            OrderingScheme::BfsR => "BFS-R",
+            OrderingScheme::SlashBurn => "SlashBurn",
+            OrderingScheme::Gro => "GRO",
+        }
+    }
+
+    /// All schemes, in the order of the paper's Table 5 columns.
+    pub fn all() -> [OrderingScheme; 7] {
+        [
+            OrderingScheme::Original,
+            OrderingScheme::DegreeOrder,
+            OrderingScheme::Dfs,
+            OrderingScheme::BfsR,
+            OrderingScheme::SlashBurn,
+            OrderingScheme::Gro,
+            OrderingScheme::AOrder,
+        ]
+    }
+
+    /// Computes this scheme's permutation for `g`.
+    pub fn permutation(&self, g: &CsrGraph, ctx: &OrderingContext<'_>) -> Permutation {
+        match self {
+            OrderingScheme::Original => Permutation::identity(g.num_vertices()),
+            OrderingScheme::DegreeOrder => degree_order(g),
+            OrderingScheme::AOrder => {
+                a_order_permutation(ctx.out_degrees, ctx.params, ctx.bucket_size)
+            }
+            OrderingScheme::Dfs => dfs::dfs_permutation(g),
+            OrderingScheme::BfsR => bfs_r::bfs_r_permutation(g),
+            OrderingScheme::SlashBurn => slashburn::slashburn_permutation(g),
+            OrderingScheme::Gro => gro::gro_permutation(g),
+        }
+    }
+}
+
+/// Degree-descending order, ties by id (the "D-order" baseline).
+fn degree_order(g: &CsrGraph) -> Permutation {
+    let mut order: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    Permutation::from_order(&order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_algos::cpu;
+    use tc_graph::generators::power_law_configuration;
+
+    #[test]
+    fn every_scheme_yields_a_valid_permutation() {
+        let g = power_law_configuration(300, 2.2, 6.0, 5);
+        let params = ModelParams::default_analytic();
+        let out_degrees: Vec<usize> = g.vertices().map(|u| g.degree(u) / 2).collect();
+        let ctx = OrderingContext {
+            out_degrees: &out_degrees,
+            params: &params,
+            bucket_size: 32,
+        };
+        let expect = cpu::node_iterator(&g);
+        for scheme in OrderingScheme::all() {
+            let p = scheme.permutation(&g, &ctx);
+            assert_eq!(p.len(), g.num_vertices(), "{}", scheme.name());
+            let h = p.apply(&g);
+            assert_eq!(
+                cpu::node_iterator(&h),
+                expect,
+                "{} changed the triangle count",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn degree_order_sorts_descending() {
+        let g = power_law_configuration(200, 2.1, 6.0, 2);
+        let p = degree_order(&g);
+        let h = p.apply(&g);
+        for w in 0..h.num_vertices() as u32 - 1 {
+            assert!(
+                h.degree(w) >= h.degree(w + 1),
+                "degree order violated at {w}"
+            );
+        }
+    }
+}

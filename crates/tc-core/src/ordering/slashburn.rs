@@ -1,0 +1,151 @@
+//! SlashBurn (Lim, Kang & Faloutsos, TKDE'14).
+//!
+//! Iteratively "slash" the k highest-degree hubs (placed at the front of
+//! the order), "burn" the small components that fall off (placed at the
+//! back), and recurse into the giant connected component. Hubs get low
+//! ids, spokes high ids; the giant core shrinks until it fits in k.
+
+use std::collections::VecDeque;
+use tc_graph::{CsrGraph, Permutation, VertexId};
+
+/// Fraction of vertices slashed per iteration (the paper's default 0.5%).
+pub const SLASH_FRACTION: f64 = 0.005;
+
+/// Computes the SlashBurn permutation with the default slash fraction.
+pub fn slashburn_permutation(g: &CsrGraph) -> Permutation {
+    slashburn_with_k(g, ((g.num_vertices() as f64 * SLASH_FRACTION) as usize).max(1))
+}
+
+/// SlashBurn with an explicit per-iteration hub count `k`.
+pub fn slashburn_with_k(g: &CsrGraph, k: usize) -> Permutation {
+    let n = g.num_vertices();
+    let k = k.max(1);
+    let mut front: Vec<VertexId> = Vec::new();
+    let mut back: Vec<VertexId> = Vec::new(); // built in removal order, reversed at the end
+    let mut alive = vec![true; n];
+    let mut degree: Vec<usize> = g.vertices().map(|u| g.degree(u)).collect();
+    let mut alive_count = n;
+
+    while alive_count > 0 {
+        if alive_count <= k {
+            // Remaining core: highest degree first.
+            let mut rest: Vec<VertexId> = (0..n as u32).filter(|&v| alive[v as usize]).collect();
+            rest.sort_by_key(|&v| (std::cmp::Reverse(degree[v as usize]), v));
+            front.extend(rest);
+            break;
+        }
+        // Slash: remove the k highest-degree hubs (degree within the
+        // current induced subgraph).
+        let mut hubs: Vec<VertexId> = (0..n as u32).filter(|&v| alive[v as usize]).collect();
+        hubs.sort_by_key(|&v| (std::cmp::Reverse(degree[v as usize]), v));
+        hubs.truncate(k);
+        for &h in &hubs {
+            alive[h as usize] = false;
+            alive_count -= 1;
+            for &nbr in g.neighbors(h) {
+                if alive[nbr as usize] {
+                    degree[nbr as usize] -= 1;
+                }
+            }
+        }
+        front.extend(&hubs);
+
+        // Burn: find connected components of the survivors; all but the
+        // giant go to the back of the ordering (smallest components first,
+        // so they end up outermost after the final reversal).
+        let mut comp_id = vec![usize::MAX; n];
+        let mut comps: Vec<Vec<VertexId>> = Vec::new();
+        for s in 0..n as u32 {
+            if !alive[s as usize] || comp_id[s as usize] != usize::MAX {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut q = VecDeque::new();
+            comp_id[s as usize] = comps.len();
+            q.push_back(s);
+            while let Some(u) = q.pop_front() {
+                comp.push(u);
+                for &nbr in g.neighbors(u) {
+                    if alive[nbr as usize] && comp_id[nbr as usize] == usize::MAX {
+                        comp_id[nbr as usize] = comps.len();
+                        q.push_back(nbr);
+                    }
+                }
+            }
+            comps.push(comp);
+        }
+        if comps.is_empty() {
+            break;
+        }
+        let giant = comps
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, c)| (c.len(), usize::MAX - i))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        comps.sort_by_key(|c| c.len());
+        for comp in comps {
+            if comp_id[comp[0] as usize] == giant {
+                continue;
+            }
+            for &v in &comp {
+                alive[v as usize] = false;
+                alive_count -= 1;
+                for &nbr in g.neighbors(v) {
+                    if alive[nbr as usize] {
+                        degree[nbr as usize] -= 1;
+                    }
+                }
+            }
+            back.extend(comp);
+        }
+    }
+
+    back.reverse();
+    front.extend(back);
+    Permutation::from_order(&front)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_graph::generators::power_law_configuration;
+    use tc_graph::GraphBuilder;
+
+    #[test]
+    fn produces_valid_permutation() {
+        let g = power_law_configuration(300, 2.1, 6.0, 6);
+        let p = slashburn_permutation(&g);
+        assert_eq!(p.len(), 300);
+    }
+
+    #[test]
+    fn hub_of_a_star_gets_id_zero() {
+        let g = GraphBuilder::from_edges(8, &(1..8).map(|i| (0, i)).collect::<Vec<_>>()).build();
+        let p = slashburn_with_k(&g, 1);
+        assert_eq!(p.map(0), 0, "the hub is slashed first");
+    }
+
+    #[test]
+    fn isolated_vertices_are_handled() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let p = slashburn_with_k(&g, 2);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let p = slashburn_permutation(&CsrGraph::empty(0));
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn k_larger_than_graph_just_sorts_by_degree() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (1, 3)]).build();
+        let p = slashburn_with_k(&g, 100);
+        // Vertex 1 (degree 3) first.
+        assert_eq!(p.map(1), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The end-to-end preprocessing pipeline: direction → ordering → rebuild.
+
+use crate::direction::DirectionScheme;
+use crate::model::ModelParams;
+use crate::ordering::{OrderingContext, OrderingScheme};
+use std::time::{Duration, Instant};
+use tc_graph::{orient_by_rank, CsrGraph, DirectedGraph, Permutation};
+
+/// Wall-clock cost of each preprocessing stage. The paper's "total time"
+/// columns add the relevant stage(s) to the kernel time — preprocessing
+/// that costs more than it saves is precisely what Tables 5/6 expose in
+/// the DFS/BFS-R/SlashBurn/GRO baselines.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PreprocessTimings {
+    /// Computing the direction rank.
+    pub direction: Duration,
+    /// Computing the vertex ordering.
+    pub ordering: Duration,
+    /// Relabelling the graph and building the oriented CSR.
+    pub rebuild: Duration,
+}
+
+impl PreprocessTimings {
+    /// Direction + ordering + rebuild, in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        (self.direction + self.ordering + self.rebuild).as_secs_f64() * 1e3
+    }
+
+    /// Ordering stage only, in milliseconds (the reordering-experiment
+    /// accounting of Tables 5/6).
+    pub fn ordering_ms(&self) -> f64 {
+        self.ordering.as_secs_f64() * 1e3
+    }
+
+    /// Direction stage only, in milliseconds (the directing-experiment
+    /// accounting of Figures 12/13).
+    pub fn direction_ms(&self) -> f64 {
+        self.direction.as_secs_f64() * 1e3
+    }
+}
+
+/// Output of [`Preprocessor::run`].
+#[derive(Clone, Debug)]
+pub struct PreprocessResult {
+    reordered: CsrGraph,
+    directed: DirectedGraph,
+    permutation: Permutation,
+    /// Out-degrees of the directed graph, indexed by *new* vertex id.
+    out_degrees: Vec<usize>,
+    /// Stage timings.
+    pub timings: PreprocessTimings,
+}
+
+impl PreprocessResult {
+    /// The relabelled undirected graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.reordered
+    }
+
+    /// The oriented graph the kernels consume (new id space).
+    pub fn directed(&self) -> &DirectedGraph {
+        &self.directed
+    }
+
+    /// The applied relabelling (old → new).
+    pub fn permutation(&self) -> &Permutation {
+        &self.permutation
+    }
+
+    /// Out-degree profile in the new id space.
+    pub fn out_degrees(&self) -> &[usize] {
+        &self.out_degrees
+    }
+}
+
+/// Builder composing an edge-directing scheme with a vertex-ordering
+/// scheme — the paper's full preprocessing (Section 6.5 combines both).
+///
+/// ```
+/// use tc_core::{Preprocessor, DirectionScheme, OrderingScheme};
+/// use tc_graph::generators::power_law_configuration;
+///
+/// let g = power_law_configuration(500, 2.2, 8.0, 1);
+/// let prep = Preprocessor::new()
+///     .direction(DirectionScheme::ADirection)
+///     .ordering(OrderingScheme::AOrder)
+///     .run(&g);
+/// assert_eq!(prep.directed().num_edges(), g.num_edges());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Preprocessor {
+    direction: DirectionScheme,
+    ordering: OrderingScheme,
+    bucket_size: usize,
+    params: Option<ModelParams>,
+}
+
+impl Default for Preprocessor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Preprocessor {
+    /// A preprocessor with the paper's recommended defaults: A-direction +
+    /// A-order, bucket size matching Hu's kernel.
+    pub fn new() -> Self {
+        Self {
+            direction: DirectionScheme::ADirection,
+            ordering: OrderingScheme::AOrder,
+            bucket_size: 64,
+            params: None,
+        }
+    }
+
+    /// Selects the edge-directing scheme.
+    pub fn direction(mut self, d: DirectionScheme) -> Self {
+        self.direction = d;
+        self
+    }
+
+    /// Selects the vertex-ordering scheme.
+    pub fn ordering(mut self, o: OrderingScheme) -> Self {
+        self.ordering = o;
+        self
+    }
+
+    /// Sets the bucket size `k` (must match the kernel's block work-set).
+    pub fn bucket_size(mut self, k: usize) -> Self {
+        self.bucket_size = k.max(1);
+        self
+    }
+
+    /// Supplies calibrated model parameters (defaults to the analytic
+    /// fallback otherwise).
+    pub fn params(mut self, p: ModelParams) -> Self {
+        self.params = Some(p);
+        self
+    }
+
+    /// Runs the pipeline on an undirected graph.
+    pub fn run(&self, g: &CsrGraph) -> PreprocessResult {
+        let params = self
+            .params
+            .clone()
+            .unwrap_or_else(ModelParams::default_analytic);
+
+        // Stage 1: direction rank.
+        let t = Instant::now();
+        let rank = self.direction.rank(g);
+        let direction_time = t.elapsed();
+
+        // Out-degrees implied by the rank (needed by A-order; cheap scan).
+        let out_degrees_old: Vec<usize> = g
+            .vertices()
+            .map(|u| {
+                let ru = rank[u as usize];
+                g.neighbors(u)
+                    .iter()
+                    .filter(|&&v| ru < rank[v as usize])
+                    .count()
+            })
+            .collect();
+
+        // Stage 2: ordering.
+        let t = Instant::now();
+        let ctx = OrderingContext {
+            out_degrees: &out_degrees_old,
+            params: &params,
+            bucket_size: self.bucket_size,
+        };
+        let permutation = self.ordering.permutation(g, &ctx);
+        let ordering_time = t.elapsed();
+
+        // Stage 3: rebuild in the new id space.
+        let t = Instant::now();
+        let reordered = permutation.apply(g);
+        let mut new_rank = vec![0u64; rank.len()];
+        let mut out_degrees = vec![0usize; rank.len()];
+        for old in 0..rank.len() {
+            let new = permutation.map(old as u32) as usize;
+            new_rank[new] = rank[old];
+            out_degrees[new] = out_degrees_old[old];
+        }
+        let directed = orient_by_rank(&reordered, &new_rank);
+        let rebuild_time = t.elapsed();
+
+        PreprocessResult {
+            reordered,
+            directed,
+            permutation,
+            out_degrees,
+            timings: PreprocessTimings {
+                direction: direction_time,
+                ordering: ordering_time,
+                rebuild: rebuild_time,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_algos::cpu;
+    use tc_graph::generators::power_law_configuration;
+
+    #[test]
+    fn every_combination_preserves_triangles() {
+        let g = power_law_configuration(300, 2.2, 7.0, 4);
+        let expect = cpu::node_iterator(&g);
+        for direction in DirectionScheme::all() {
+            for ordering in [
+                OrderingScheme::Original,
+                OrderingScheme::DegreeOrder,
+                OrderingScheme::AOrder,
+            ] {
+                let prep = Preprocessor::new()
+                    .direction(direction)
+                    .ordering(ordering)
+                    .run(&g);
+                assert_eq!(
+                    cpu::directed_count(prep.directed()),
+                    expect,
+                    "{} + {}",
+                    direction.name(),
+                    ordering.name()
+                );
+                assert_eq!(
+                    prep.directed().find_directed_triangle_cycle(),
+                    None,
+                    "{} + {} produced a 3-cycle",
+                    direction.name(),
+                    ordering.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_degrees_match_directed_graph() {
+        let g = power_law_configuration(200, 2.1, 6.0, 9);
+        let prep = Preprocessor::new().run(&g);
+        let expect = prep.directed().out_degrees();
+        assert_eq!(prep.out_degrees(), &expect[..]);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let g = power_law_configuration(400, 2.2, 8.0, 2);
+        let prep = Preprocessor::new().ordering(OrderingScheme::Gro).run(&g);
+        assert!(prep.timings.total_ms() > 0.0);
+        assert!(prep.timings.ordering_ms() >= 0.0);
+    }
+
+    #[test]
+    fn original_ordering_keeps_ids() {
+        let g = power_law_configuration(100, 2.2, 5.0, 3);
+        let prep = Preprocessor::new()
+            .ordering(OrderingScheme::Original)
+            .run(&g);
+        assert_eq!(prep.graph(), &g);
+        assert_eq!(
+            prep.permutation(),
+            &tc_graph::Permutation::identity(g.num_vertices())
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! The global-memory coalescing model.
+//!
+//! A warp's global-memory access is served in 128-byte transactions
+//! ("segments"). If the 32 lanes read 32 consecutive 4-byte words the whole
+//! access is one transaction; if they read scattered words it takes up to
+//! 32. This is the mechanism behind the paper's Figures 4 and 5: binary
+//! search over a *short* list keeps all lanes inside one segment, binary
+//! search over a *long* list scatters them — which is exactly what makes
+//! long lists memory-intensive and short lists compute-intensive.
+
+/// 4-byte words per 128-byte transaction.
+pub const WORDS_PER_SEGMENT: u64 = 32;
+
+/// Number of distinct 128-byte segments touched by a warp reading the given
+/// word addresses (element indices into a `u32` array).
+///
+/// Addresses may arrive in any order; inactive lanes are simply absent.
+/// Returns 0 for an empty access.
+pub fn segments_for_addresses<I: IntoIterator<Item = u64>>(addresses: I) -> u32 {
+    // A warp has at most 32 lanes, so a tiny on-stack set beats hashing.
+    let mut seen = [u64::MAX; 32];
+    let mut count = 0u32;
+    for addr in addresses {
+        let seg = addr / WORDS_PER_SEGMENT;
+        if !seen[..count as usize].contains(&seg) {
+            seen[count as usize] = seg;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Segments for a warp reading `lanes` consecutive words starting at
+/// `start` (the pattern of a cooperative, perfectly coalesced copy loop).
+pub fn segments_for_contiguous(start: u64, lanes: u64) -> u32 {
+    if lanes == 0 {
+        return 0;
+    }
+    let first = start / WORDS_PER_SEGMENT;
+    let last = (start + lanes - 1) / WORDS_PER_SEGMENT;
+    (last - first + 1) as u32
+}
+
+/// Segments when all active lanes of a warp probe *independent uniformly
+/// scattered* positions in a list of `len` words starting at `base`.
+///
+/// Used by trace generators when modelling a batch of unrelated binary
+/// searches at the same depth: lanes at iteration `i` are spread over the
+/// whole list, so the expected number of distinct segments is
+/// `min(active_lanes, ceil(len / 32))` in the worst case. We charge the
+/// deterministic upper envelope rather than sampling — the simulator must
+/// stay randomness-free.
+pub fn segments_for_scattered(len: u64, active_lanes: u32) -> u32 {
+    if len == 0 || active_lanes == 0 {
+        return 0;
+    }
+    let segments_in_list = len.div_ceil(WORDS_PER_SEGMENT);
+    (active_lanes as u64).min(segments_in_list) as u32
+}
+
+/// Number of shared-memory banks (one 4-byte word wide each).
+pub const NUM_BANKS: u64 = 32;
+
+/// Result of resolving a warp's shared-memory access against the banks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BankAccess {
+    /// Serialized transactions: the maximum number of *distinct words* any
+    /// single bank must deliver (same-word broadcasts are free).
+    pub transactions: u32,
+    /// Distinct words touched across the warp — the actual bytes moved are
+    /// `4 × distinct_words`.
+    pub distinct_words: u32,
+}
+
+/// Resolves a warp's shared-memory word addresses against the 32-bank
+/// model: lanes reading the *same* word broadcast (free); lanes reading
+/// *different* words in the same bank serialize.
+pub fn bank_transactions<I: IntoIterator<Item = u64>>(addresses: I) -> BankAccess {
+    // At most 32 lanes: flat arrays beat hashing.
+    let mut words = [u64::MAX; 32];
+    let mut word_count = 0usize;
+    for addr in addresses {
+        if !words[..word_count].contains(&addr) {
+            words[word_count] = addr;
+            word_count += 1;
+        }
+    }
+    let mut per_bank = [0u32; NUM_BANKS as usize];
+    for &w in &words[..word_count] {
+        per_bank[(w % NUM_BANKS) as usize] += 1;
+    }
+    BankAccess {
+        transactions: per_bank.iter().copied().max().unwrap_or(0),
+        distinct_words: word_count as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_words_coalesce_to_one_segment() {
+        assert_eq!(segments_for_addresses(0..32), 1);
+    }
+
+    #[test]
+    fn straddling_segment_boundary_costs_two() {
+        assert_eq!(segments_for_addresses(16..48), 2);
+    }
+
+    #[test]
+    fn fully_scattered_costs_one_each() {
+        // Lanes 32 words apart: every lane in its own segment.
+        assert_eq!(segments_for_addresses((0..32).map(|i| i * 32)), 32);
+    }
+
+    #[test]
+    fn duplicate_addresses_are_free() {
+        assert_eq!(segments_for_addresses([5, 5, 5, 6].into_iter()), 1);
+    }
+
+    #[test]
+    fn empty_access_costs_nothing() {
+        assert_eq!(segments_for_addresses(std::iter::empty()), 0);
+        assert_eq!(segments_for_contiguous(0, 0), 0);
+        assert_eq!(segments_for_scattered(0, 32), 0);
+    }
+
+    #[test]
+    fn contiguous_matches_explicit_enumeration() {
+        for start in [0u64, 7, 31, 32, 100] {
+            for lanes in [1u64, 2, 31, 32] {
+                assert_eq!(
+                    segments_for_contiguous(start, lanes),
+                    segments_for_addresses(start..start + lanes),
+                    "start={start} lanes={lanes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scattered_saturates_at_list_size() {
+        // A 33-word list spans 2 segments; even 32 lanes can't touch more.
+        assert_eq!(segments_for_scattered(33, 32), 2);
+        // A huge list: every active lane pays its own segment.
+        assert_eq!(segments_for_scattered(1 << 20, 32), 32);
+        // Few active lanes: bounded by lanes.
+        assert_eq!(segments_for_scattered(1 << 20, 3), 3);
+    }
+
+    #[test]
+    fn broadcast_is_one_transaction() {
+        let a = bank_transactions([7u64; 32]);
+        assert_eq!(a.transactions, 1);
+        assert_eq!(a.distinct_words, 1);
+    }
+
+    #[test]
+    fn conflict_free_stride_one_is_one_transaction() {
+        let a = bank_transactions(0..32u64);
+        assert_eq!(a.transactions, 1);
+        assert_eq!(a.distinct_words, 32);
+    }
+
+    #[test]
+    fn same_bank_different_words_serialize() {
+        // Words 0, 32, 64 all live in bank 0.
+        let a = bank_transactions([0u64, 32, 64]);
+        assert_eq!(a.transactions, 3);
+        assert_eq!(a.distinct_words, 3);
+    }
+
+    #[test]
+    fn empty_bank_access() {
+        let a = bank_transactions(std::iter::empty());
+        assert_eq!(a.transactions, 0);
+        assert_eq!(a.distinct_words, 0);
+    }
+
+    #[test]
+    fn short_list_is_cheap_long_list_expensive() {
+        // The crux of the paper's Figure 4: same search count, different cost.
+        let short = segments_for_scattered(32, 32);
+        let long = segments_for_scattered(4096, 32);
+        assert_eq!(short, 1);
+        assert_eq!(long, 32);
+    }
+}

@@ -1,0 +1,140 @@
+//! Simulated GPU hardware parameters.
+
+/// Number of threads in a warp. Fixed at 32 on every NVIDIA architecture
+/// the paper considers; kernels and the coalescing model assume it.
+pub const WARP_SIZE: usize = 32;
+
+/// Parameters of the simulated GPU.
+///
+/// The defaults ([`GpuConfig::titan_xp_like`]) approximate the Titan Xp the
+/// paper used: 30 SMs, 128-byte memory transactions, a few hundred cycles
+/// of global-memory latency, and a shared-memory path roughly an order of
+/// magnitude faster than global memory. Absolute values shift measured
+/// times but not the phenomena; tests in `tc-bench` verify the paper's
+/// *relative* results hold across a range of configurations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Warps per block (threads per block = 32 × this).
+    pub warps_per_block: usize,
+    /// Blocks co-resident on one SM. Low residency strengthens the paper's
+    /// block-granularity resource arguments; 2 matches kernels with heavy
+    /// shared-memory footprints.
+    pub blocks_per_sm: usize,
+    /// Warp-instructions the compute pipeline retires per cycle.
+    pub compute_throughput: f64,
+    /// Global-memory transactions (128-byte segments) served per cycle.
+    pub global_bw: f64,
+    /// Global-memory latency in cycles (overlappable by other warps).
+    pub global_latency: u64,
+    /// Shared-memory transactions served per cycle.
+    pub shared_bw: f64,
+    /// Shared-memory latency in cycles.
+    pub shared_latency: u64,
+    /// Clock in GHz, used only to convert cycles to milliseconds for
+    /// reporting alongside the paper's tables.
+    pub clock_ghz: f64,
+}
+
+impl GpuConfig {
+    /// A Titan-Xp-like configuration (the paper's testbed).
+    pub fn titan_xp_like() -> Self {
+        Self {
+            num_sms: 30,
+            warps_per_block: 8,
+            blocks_per_sm: 2,
+            compute_throughput: 1.0,
+            global_bw: 0.5,
+            global_latency: 400,
+            shared_bw: 4.0,
+            shared_latency: 24,
+            clock_ghz: 1.4,
+        }
+    }
+
+    /// A deliberately tiny GPU for unit tests: one SM, one block slot, two
+    /// warps per block — small enough to hand-compute schedules.
+    pub fn tiny() -> Self {
+        Self {
+            num_sms: 1,
+            warps_per_block: 2,
+            blocks_per_sm: 1,
+            compute_throughput: 1.0,
+            global_bw: 1.0,
+            global_latency: 100,
+            shared_bw: 4.0,
+            shared_latency: 10,
+            clock_ghz: 1.0,
+        }
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> usize {
+        self.warps_per_block * WARP_SIZE
+    }
+
+    /// A copy of this configuration with the given block residency —
+    /// kernels with small register/shared-memory footprints (TriCore,
+    /// Gunrock, Polak, Fox) co-schedule more blocks per SM than
+    /// shared-memory-heavy ones (Hu, Bisson), exactly as the CUDA
+    /// occupancy calculator would decide.
+    pub fn with_blocks_per_sm(&self, blocks: usize) -> Self {
+        Self {
+            blocks_per_sm: blocks.max(1),
+            ..self.clone()
+        }
+    }
+
+    /// Converts simulated cycles to milliseconds at the configured clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e6)
+    }
+
+    /// Panics if any parameter is degenerate (zero resources).
+    pub fn validate(&self) {
+        assert!(self.num_sms >= 1, "need at least one SM");
+        assert!(self.warps_per_block >= 1, "need at least one warp");
+        assert!(self.blocks_per_sm >= 1, "need at least one block slot");
+        assert!(self.compute_throughput > 0.0, "compute throughput must be positive");
+        assert!(self.global_bw > 0.0 && self.shared_bw > 0.0, "bandwidth must be positive");
+        assert!(self.clock_ghz > 0.0, "clock must be positive");
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::titan_xp_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        GpuConfig::titan_xp_like().validate();
+        GpuConfig::tiny().validate();
+    }
+
+    #[test]
+    fn cycles_to_ms_at_one_ghz() {
+        let mut c = GpuConfig::tiny();
+        c.clock_ghz = 1.0;
+        assert!((c.cycles_to_ms(1_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threads_per_block_is_warps_times_32() {
+        assert_eq!(GpuConfig::titan_xp_like().threads_per_block(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SM")]
+    fn zero_sms_rejected() {
+        let mut c = GpuConfig::tiny();
+        c.num_sms = 0;
+        c.validate();
+    }
+}

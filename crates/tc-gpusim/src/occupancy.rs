@@ -1,0 +1,156 @@
+//! A CUDA-occupancy-calculator analogue: how many blocks co-reside on an
+//! SM given the kernel's resource footprint.
+//!
+//! The experiments give shared-memory-heavy kernels (Hu, Bisson) low
+//! residency and lean kernels (TriCore, Gunrock, Polak, Fox) high
+//! residency; this module derives those numbers from declared footprints
+//! instead of hard-coding them, the way `cudaOccupancyMaxActiveBlocksPerMultiprocessor`
+//! would.
+
+use crate::config::GpuConfig;
+
+/// Per-SM hardware limits (Pascal-class defaults, matching the Titan Xp
+/// the paper used).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SmLimits {
+    /// Shared memory per SM, bytes.
+    pub shared_bytes: u32,
+    /// Registers per SM.
+    pub registers: u32,
+    /// Maximum resident warps.
+    pub max_warps: u32,
+    /// Maximum resident blocks.
+    pub max_blocks: u32,
+}
+
+impl Default for SmLimits {
+    fn default() -> Self {
+        Self {
+            shared_bytes: 96 * 1024,
+            registers: 64 * 1024,
+            max_warps: 64,
+            max_blocks: 32,
+        }
+    }
+}
+
+/// A kernel's per-block resource footprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelFootprint {
+    /// Shared memory per block, bytes.
+    pub shared_bytes_per_block: u32,
+    /// Registers per thread.
+    pub registers_per_thread: u32,
+    /// Warps per block.
+    pub warps_per_block: u32,
+}
+
+/// Maximum co-resident blocks per SM for the given footprint — the
+/// minimum over the shared-memory, register, warp-slot, and block-slot
+/// constraints. Returns 0 if even a single block cannot fit.
+pub fn max_blocks_per_sm(limits: &SmLimits, kernel: &KernelFootprint) -> u32 {
+    let by_shared = limits
+        .shared_bytes
+        .checked_div(kernel.shared_bytes_per_block)
+        .unwrap_or(u32::MAX);
+    let regs_per_block = kernel.registers_per_thread * kernel.warps_per_block * 32;
+    let by_regs = limits.registers.checked_div(regs_per_block).unwrap_or(u32::MAX);
+    let by_warps = limits
+        .max_warps
+        .checked_div(kernel.warps_per_block)
+        .unwrap_or(u32::MAX);
+    by_shared.min(by_regs).min(by_warps).min(limits.max_blocks)
+}
+
+/// Applies a kernel footprint to a GPU configuration: the returned config
+/// runs with the occupancy the footprint permits (at least 1).
+pub fn configure_for_kernel(
+    gpu: &GpuConfig,
+    limits: &SmLimits,
+    kernel: &KernelFootprint,
+) -> GpuConfig {
+    gpu.with_blocks_per_sm(max_blocks_per_sm(limits, kernel).max(1) as usize)
+}
+
+/// Footprint of a shared-memory staging kernel like Hu's: a full staging
+/// buffer (48 KB) plus moderate registers.
+pub fn staging_kernel_footprint(warps_per_block: usize) -> KernelFootprint {
+    KernelFootprint {
+        shared_bytes_per_block: 48 * 1024,
+        registers_per_thread: 32,
+        warps_per_block: warps_per_block as u32,
+    }
+}
+
+/// Footprint of a lean warp-per-edge kernel like TriCore: no shared
+/// memory to speak of, few registers.
+pub fn lean_kernel_footprint(warps_per_block: usize) -> KernelFootprint {
+    KernelFootprint {
+        shared_bytes_per_block: 1024,
+        registers_per_thread: 24,
+        warps_per_block: warps_per_block as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staging_kernel_gets_two_blocks() {
+        // 96 KB shared / 48 KB per block = 2 co-resident blocks.
+        let blocks = max_blocks_per_sm(&SmLimits::default(), &staging_kernel_footprint(8));
+        assert_eq!(blocks, 2);
+    }
+
+    #[test]
+    fn lean_kernel_is_warp_limited() {
+        // Shared memory allows 96 blocks; warp slots allow 64 / 8 = 8.
+        let blocks = max_blocks_per_sm(&SmLimits::default(), &lean_kernel_footprint(8));
+        assert_eq!(blocks, 8);
+    }
+
+    #[test]
+    fn register_pressure_limits_occupancy() {
+        let kernel = KernelFootprint {
+            shared_bytes_per_block: 0,
+            registers_per_thread: 255,
+            warps_per_block: 8,
+        };
+        // 64K regs / (255 × 256) ≈ 1 block.
+        assert_eq!(max_blocks_per_sm(&SmLimits::default(), &kernel), 1);
+    }
+
+    #[test]
+    fn oversized_block_yields_zero() {
+        let kernel = KernelFootprint {
+            shared_bytes_per_block: 200 * 1024,
+            registers_per_thread: 32,
+            warps_per_block: 8,
+        };
+        assert_eq!(max_blocks_per_sm(&SmLimits::default(), &kernel), 0);
+    }
+
+    #[test]
+    fn configure_clamps_to_at_least_one() {
+        let gpu = GpuConfig::titan_xp_like();
+        let kernel = KernelFootprint {
+            shared_bytes_per_block: 200 * 1024,
+            registers_per_thread: 32,
+            warps_per_block: 8,
+        };
+        let configured = configure_for_kernel(&gpu, &SmLimits::default(), &kernel);
+        assert_eq!(configured.blocks_per_sm, 1);
+    }
+
+    #[test]
+    fn matches_the_residency_the_algorithms_use() {
+        // The experiment configuration: staging kernels at 2 blocks/SM,
+        // lean kernels at ≥ 6 — consistent with what the calculator gives
+        // for plausible footprints.
+        let staging = max_blocks_per_sm(&SmLimits::default(), &staging_kernel_footprint(8));
+        let lean = max_blocks_per_sm(&SmLimits::default(), &lean_kernel_footprint(8));
+        assert!(staging <= 2);
+        assert!(lean >= 6);
+    }
+}

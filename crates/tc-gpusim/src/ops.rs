@@ -1,0 +1,51 @@
+//! Warp-level operations: the instruction set of the simulator.
+
+/// One warp-level operation.
+///
+/// Trace generators in `tc-algos` translate their CUDA kernels into streams
+/// of these. The granularity is deliberately coarse — a warp executes in
+/// lock step, so one op describes all 32 lanes at once. SIMT divergence is
+/// the *generator's* responsibility: a divergent branch serializes its
+/// paths, so the generator emits the summed compute cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarpOp {
+    /// Pure computation occupying the SM's compute pipeline for the given
+    /// number of warp-cycles.
+    Compute(u32),
+    /// A global-memory access by the whole warp that coalesced into the
+    /// given number of 128-byte transactions (see [`crate::coalesce`]).
+    GlobalAccess {
+        /// Memory transactions after coalescing (1..=32 per access).
+        segments: u32,
+    },
+    /// A shared-memory access costing the given number of transactions
+    /// (bank conflicts serialize, so a conflicted access costs more).
+    SharedAccess {
+        /// Shared-memory transactions (1 if conflict-free).
+        transactions: u32,
+    },
+    /// `__syncthreads()`: barrier across all warps of the block. The
+    /// superstep ends when the slowest warp arrives — the paper's
+    /// intra-block BSP model.
+    BlockSync,
+}
+
+impl WarpOp {
+    /// Whether this op touches a memory pipeline.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, WarpOp::GlobalAccess { .. } | WarpOp::SharedAccess { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_classification() {
+        assert!(WarpOp::GlobalAccess { segments: 1 }.is_memory());
+        assert!(WarpOp::SharedAccess { transactions: 2 }.is_memory());
+        assert!(!WarpOp::Compute(5).is_memory());
+        assert!(!WarpOp::BlockSync.is_memory());
+    }
+}

@@ -1,0 +1,241 @@
+//! The `nvprof` substitute: micro-benchmarks that measure how binary-search
+//! workloads behave as a function of adjacency-list length.
+//!
+//! The paper (Section 5.3, Figure 8) runs `nvprof` over Hu's kernel to
+//! obtain (a) achieved shared-memory bandwidth `BW(d̃)` and (b) the
+//! computing-pressure headroom `p_c(d̃)` — the factor by which compute work
+//! can be multiplied before a memory-dominated kernel slows by more than
+//! 5%. We reproduce the same protocol against the simulator: a micro-kernel
+//! performing batches of 32 lock-step binary searches over a staged list of
+//! a given length, swept over lengths.
+
+use crate::config::GpuConfig;
+use crate::engine::simulate;
+use crate::ops::WarpOp;
+use crate::search::{lockstep_binary_search, SearchCosts, SearchSpace};
+use crate::trace::{BlockSource, BlockTrace, WarpTrace};
+use crate::VertexId32;
+
+/// One measured point of the length sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProfilePoint {
+    /// Adjacency-list length this point was measured at.
+    pub list_len: usize,
+    /// Achieved shared-memory bandwidth in bytes/cycle (Figure 8, left axis).
+    pub shared_bandwidth: f64,
+    /// Computing-pressure headroom before the 5% slowdown (Figure 8,
+    /// right axis). 0 for compute-dominated lengths.
+    pub p_c: u32,
+    /// Baseline kernel cycles at this length (no extra pressure).
+    pub baseline_cycles: u64,
+}
+
+/// Slowdown tolerance of the balance-point experiment (the paper uses 5%).
+pub const SLOWDOWN_TOLERANCE: f64 = 1.05;
+
+/// Micro-kernel: every warp repeatedly (a) stages the list from global
+/// memory, (b) syncs, (c) runs one batch of 32 binary searches, optionally
+/// followed by `extra_compute` artificial compute cycles.
+struct SweepKernel {
+    blocks: usize,
+    warps_per_block: usize,
+    list: Vec<VertexId32>,
+    keys: Vec<VertexId32>,
+    rounds: usize,
+    extra_compute: u32,
+    costs: SearchCosts,
+}
+
+impl SweepKernel {
+    /// Distinct shared-memory words one warp touches per run, times 4 —
+    /// used for the bandwidth numerator.
+    fn shared_bytes_per_warp(&self) -> u64 {
+        let mut ops = Vec::new();
+        let out = lockstep_binary_search(
+            &self.list,
+            &self.keys,
+            SearchSpace::Shared,
+            &self.costs,
+            &mut ops,
+        );
+        out.words_touched * 4 * self.rounds as u64
+    }
+}
+
+impl BlockSource for SweepKernel {
+    fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    fn block(&self, _idx: usize) -> BlockTrace {
+        let mut warps = Vec::with_capacity(self.warps_per_block);
+        for _ in 0..self.warps_per_block {
+            let mut ops = Vec::new();
+            for _ in 0..self.rounds {
+                // Stage the list cooperatively from global memory: the block
+                // streams `list_len` words, `ceil(len/32)` coalesced
+                // segments shared across warps; charge each warp its share.
+                let share =
+                    (self.list.len() as u64).div_ceil(32 * self.warps_per_block as u64);
+                ops.push(WarpOp::GlobalAccess {
+                    segments: share.max(1) as u32,
+                });
+                ops.push(WarpOp::BlockSync);
+                let _ = lockstep_binary_search(
+                    &self.list,
+                    &self.keys,
+                    SearchSpace::Shared,
+                    &self.costs,
+                    &mut ops,
+                );
+                if self.extra_compute > 0 {
+                    ops.push(WarpOp::Compute(self.extra_compute));
+                }
+            }
+            warps.push(WarpTrace::new(ops));
+        }
+        BlockTrace::new(warps)
+    }
+}
+
+fn sweep_kernel(config: &GpuConfig, list_len: usize, extra_compute: u32) -> SweepKernel {
+    // Even-valued list, odd search keys spread uniformly: every search
+    // misses, so all lanes run the full log2(len) depth — the worst case the
+    // models reason about.
+    let list: Vec<VertexId32> = (0..list_len as u32).map(|i| i * 2).collect();
+    let keys: Vec<VertexId32> = (0..32u32)
+        .map(|i| ((i as u64 * 2 + 1) * list_len.max(1) as u64 * 2 / 64) as u32 | 1)
+        .collect();
+    SweepKernel {
+        blocks: config.num_sms * config.blocks_per_sm,
+        warps_per_block: config.warps_per_block,
+        list,
+        keys,
+        rounds: 8,
+        extra_compute,
+        costs: SearchCosts::default(),
+    }
+}
+
+/// Runs the full sweep: for each length, measure achieved shared-memory
+/// bandwidth and the `p_c` balance point.
+pub fn profile_lengths(config: &GpuConfig, lengths: &[usize]) -> Vec<ProfilePoint> {
+    lengths
+        .iter()
+        .map(|&len| profile_one(config, len))
+        .collect()
+}
+
+/// Measures a single list length.
+pub fn profile_one(config: &GpuConfig, list_len: usize) -> ProfilePoint {
+    let kernel = sweep_kernel(config, list_len, 0);
+    let metrics = simulate(config, &kernel);
+    let baseline = metrics.kernel_cycles.max(1);
+    let total_bytes =
+        kernel.shared_bytes_per_warp() * (kernel.blocks * kernel.warps_per_block) as u64;
+    let bandwidth = total_bytes as f64 / baseline as f64;
+
+    ProfilePoint {
+        list_len,
+        shared_bandwidth: bandwidth,
+        p_c: balance_point(config, list_len, baseline),
+        baseline_cycles: baseline,
+    }
+}
+
+/// The paper's balance-point experiment: the largest extra-compute factor
+/// whose kernel time stays within [`SLOWDOWN_TOLERANCE`] of baseline.
+///
+/// Kernel time is non-decreasing in the injected compute, so exponential
+/// probing followed by binary search is exact.
+fn balance_point(config: &GpuConfig, list_len: usize, baseline: u64) -> u32 {
+    let fits = |p_c: u32| -> bool {
+        let t = simulate(config, &sweep_kernel(config, list_len, p_c)).kernel_cycles;
+        t as f64 <= baseline as f64 * SLOWDOWN_TOLERANCE
+    };
+    if !fits(1) {
+        return 0;
+    }
+    // Exponential probe.
+    let mut lo = 1u32;
+    let mut hi = 2u32;
+    while hi <= 4096 && fits(hi) {
+        lo = hi;
+        hi *= 2;
+    }
+    if hi > 4096 {
+        return lo;
+    }
+    // Binary search in (lo, hi): fits(lo), !fits(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// The standard length grid for Figure 8: powers of two covering short
+/// (compute-intensive) through long (memory-intensive) lists.
+pub fn standard_lengths() -> Vec<usize> {
+    (1..=13).map(|s| 1usize << s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        let mut c = GpuConfig::titan_xp_like();
+        // Small GPU keeps micro-benchmarks fast in tests.
+        c.num_sms = 4;
+        c
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let a = profile_one(&cfg(), 256);
+        let b = profile_one(&cfg(), 256);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bandwidth_grows_with_list_length() {
+        let c = cfg();
+        let short = profile_one(&c, 8);
+        let long = profile_one(&c, 4096);
+        assert!(
+            long.shared_bandwidth > short.shared_bandwidth,
+            "BW must rise with length: short {} vs long {}",
+            short.shared_bandwidth,
+            long.shared_bandwidth
+        );
+    }
+
+    #[test]
+    fn p_c_grows_with_list_length() {
+        // Long lists are memory-dominated: plenty of compute headroom.
+        let c = cfg();
+        let short = profile_one(&c, 4);
+        let long = profile_one(&c, 8192);
+        assert!(
+            long.p_c >= short.p_c,
+            "p_c must not shrink with length: short {} vs long {}",
+            short.p_c,
+            long.p_c
+        );
+    }
+
+    #[test]
+    fn standard_grid_is_ascending_powers_of_two() {
+        let g = standard_lengths();
+        assert_eq!(g.first(), Some(&2));
+        assert_eq!(g.last(), Some(&8192));
+        for w in g.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Lock-step warp binary search: the shared functional-plus-trace kernel
+//! primitive.
+//!
+//! Every binary-search-based triangle-counting kernel in `tc-algos` (and
+//! the profiler's micro-benchmarks) funnels through
+//! [`lockstep_binary_search`]: it *performs* up to 32 searches the way a
+//! warp would — all lanes advancing one probe per iteration until every
+//! lane terminates — while emitting the exact warp ops that execution
+//! generates. Timing and results therefore can never drift apart.
+
+use crate::coalesce::bank_transactions;
+use crate::ops::WarpOp;
+use crate::VertexId32;
+
+/// Where the searched list lives, which decides the memory-op flavour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchSpace {
+    /// List staged in shared memory (Hu's kernel after the copy phase).
+    Shared,
+    /// List in global memory at the given word offset (TriCore, Gunrock).
+    Global {
+        /// Word address of the list's first element in the flat adjacency
+        /// array; probes at index `i` touch `base + i`.
+        base: u64,
+    },
+}
+
+/// Per-step cost constants of the search loop (address arithmetic, the
+/// comparison, and branch handling). Calibrated once in `tc-core` and
+/// shared by all kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchCosts {
+    /// Compute cycles per probe iteration (all lanes, lock-step).
+    pub compute_per_step: u32,
+    /// Fixed compute cycles per 32-search batch (index computation,
+    /// loads of the keys, loop setup).
+    pub compute_overhead: u32,
+}
+
+impl Default for SearchCosts {
+    fn default() -> Self {
+        Self {
+            compute_per_step: 2,
+            compute_overhead: 4,
+        }
+    }
+}
+
+/// Statistics returned by one lock-step batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// How many keys were found in the list.
+    pub found: u32,
+    /// Distinct data words the warp pulled from memory (×4 = bytes).
+    pub words_touched: u64,
+}
+
+/// Runs up to 32 binary searches (`keys`) against a sorted `list` in lock
+/// step and appends the generated warp ops to `ops`.
+///
+/// All active lanes probe simultaneously; one iteration produces one memory
+/// access (coalescing/bank behaviour computed from the actual probe
+/// addresses) plus one compute op. A lane deactivates when it finds its key
+/// or exhausts its range; the loop runs until all lanes are inactive —
+/// exactly the SIMT execution of the kernels in the paper.
+///
+/// # Panics
+/// Panics if more than 32 keys are supplied (a warp has 32 lanes).
+pub fn lockstep_binary_search(
+    list: &[VertexId32],
+    keys: &[VertexId32],
+    space: SearchSpace,
+    costs: &SearchCosts,
+    ops: &mut Vec<WarpOp>,
+) -> SearchOutcome {
+    assert!(keys.len() <= 32, "a warp has at most 32 lanes");
+    let mut outcome = SearchOutcome::default();
+    if keys.is_empty() {
+        return outcome;
+    }
+    if costs.compute_overhead > 0 {
+        ops.push(WarpOp::Compute(costs.compute_overhead));
+    }
+    if list.is_empty() {
+        return outcome;
+    }
+
+    let mut lo = [0usize; 32];
+    let mut hi = [0usize; 32];
+    let mut active = [false; 32];
+    for i in 0..keys.len() {
+        hi[i] = list.len();
+        active[i] = true;
+    }
+
+    let mut probes: Vec<u64> = Vec::with_capacity(keys.len());
+    // Global-memory lines already resident in L1 for this batch.
+    let mut cached: Vec<u64> = Vec::new();
+    loop {
+        probes.clear();
+        for i in 0..keys.len() {
+            if active[i] {
+                probes.push(((lo[i] + hi[i]) / 2) as u64);
+            }
+        }
+        if probes.is_empty() {
+            break;
+        }
+        match space {
+            SearchSpace::Shared => {
+                let access = bank_transactions(probes.iter().copied());
+                ops.push(WarpOp::SharedAccess {
+                    transactions: access.transactions,
+                });
+                outcome.words_touched += access.distinct_words as u64;
+            }
+            SearchSpace::Global { base } => {
+                // L1 caching: only lines not yet touched by this batch pay
+                // a global transaction; re-probes of resident lines are an
+                // on-chip access (short latency, no DRAM traffic). Short
+                // lists therefore load once and finish from cache — the
+                // compute-intensive regime of the paper's Figure 4.
+                let mut new_segments = 0u32;
+                for &p in &probes {
+                    let seg = (base + p) / crate::coalesce::WORDS_PER_SEGMENT;
+                    if !cached.contains(&seg) {
+                        cached.push(seg);
+                        new_segments += 1;
+                    }
+                }
+                if new_segments > 0 {
+                    ops.push(WarpOp::GlobalAccess {
+                        segments: new_segments,
+                    });
+                } else {
+                    ops.push(WarpOp::SharedAccess { transactions: 1 });
+                }
+                // Distinct-word accounting for global reads: lanes probing
+                // the same word still read it once.
+                let mut distinct = 0u64;
+                let mut seen = [u64::MAX; 32];
+                for &p in &probes {
+                    if !seen[..distinct as usize].contains(&p) {
+                        seen[distinct as usize] = p;
+                        distinct += 1;
+                    }
+                }
+                outcome.words_touched += distinct;
+            }
+        }
+        ops.push(WarpOp::Compute(costs.compute_per_step));
+
+        for i in 0..keys.len() {
+            if !active[i] {
+                continue;
+            }
+            let mid = (lo[i] + hi[i]) / 2;
+            let v = list[mid];
+            if v == keys[i] {
+                outcome.found += 1;
+                active[i] = false;
+            } else if v < keys[i] {
+                lo[i] = mid + 1;
+            } else {
+                hi[i] = mid;
+            }
+            if active[i] && lo[i] >= hi[i] {
+                active[i] = false;
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn search(list: &[u32], keys: &[u32]) -> (SearchOutcome, Vec<WarpOp>) {
+        let mut ops = Vec::new();
+        let out = lockstep_binary_search(
+            list,
+            keys,
+            SearchSpace::Shared,
+            &SearchCosts::default(),
+            &mut ops,
+        );
+        (out, ops)
+    }
+
+    #[test]
+    fn finds_present_keys() {
+        let list: Vec<u32> = (0..100).map(|i| i * 2).collect();
+        let (out, _) = search(&list, &[0, 50, 198, 3, 99]);
+        assert_eq!(out.found, 3); // 0, 50, 198 present; 3 and 99 odd → absent
+    }
+
+    #[test]
+    fn empty_key_set_emits_nothing() {
+        let (out, ops) = search(&[1, 2, 3], &[]);
+        assert_eq!(out.found, 0);
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn empty_list_finds_nothing() {
+        let (out, ops) = search(&[], &[5]);
+        assert_eq!(out.found, 0);
+        assert_eq!(ops.len(), 1); // just the overhead compute
+    }
+
+    #[test]
+    fn step_count_is_logarithmic() {
+        let list: Vec<u32> = (0..1024).map(|i| i * 2 + 1).collect(); // all misses
+        let (_, ops) = search(&list, &[4]);
+        let mem_steps = ops.iter().filter(|o| o.is_memory()).count();
+        assert!(
+            (10..=11).contains(&mem_steps),
+            "expected ~log2(1024) probes, got {mem_steps}"
+        );
+    }
+
+    #[test]
+    fn results_match_std_binary_search() {
+        let list: Vec<u32> = vec![2, 3, 5, 7, 11, 13, 17, 19, 23];
+        for key in 0..25u32 {
+            let (out, _) = search(&list, &[key]);
+            assert_eq!(
+                out.found == 1,
+                list.binary_search(&key).is_ok(),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn thirty_two_lanes_search_together() {
+        let list: Vec<u32> = (0..4096).collect();
+        let keys: Vec<u32> = (0..32).map(|i| i * 128).collect();
+        let (out, ops) = search(&list, &keys);
+        assert_eq!(out.found, 32);
+        // Lock-step: far fewer op pairs than 32 independent searches.
+        let mem_steps = ops.iter().filter(|o| o.is_memory()).count();
+        assert!(mem_steps <= 13, "lock-step probes shared: {mem_steps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32 lanes")]
+    fn more_than_32_keys_panics() {
+        let keys = vec![0u32; 33];
+        let mut ops = Vec::new();
+        let _ = lockstep_binary_search(
+            &[1],
+            &keys,
+            SearchSpace::Shared,
+            &SearchCosts::default(),
+            &mut ops,
+        );
+    }
+
+    #[test]
+    fn global_space_emits_global_ops() {
+        let list: Vec<u32> = (0..64).collect();
+        let mut ops = Vec::new();
+        let _ = lockstep_binary_search(
+            &list,
+            &[3, 60],
+            SearchSpace::Global { base: 1000 },
+            &SearchCosts::default(),
+            &mut ops,
+        );
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, WarpOp::GlobalAccess { .. })));
+    }
+
+    #[test]
+    fn short_list_loads_once_then_hits_cache() {
+        // A 16-element list fits one 128-byte line: the first probe is a
+        // global transaction, every later probe an on-chip (L1) access.
+        let list: Vec<u32> = (0..16).map(|i| i * 2 + 1).collect(); // misses
+        let mut ops = Vec::new();
+        let _ = lockstep_binary_search(
+            &list,
+            &[2, 8],
+            SearchSpace::Global { base: 0 },
+            &SearchCosts::default(),
+            &mut ops,
+        );
+        let globals = ops
+            .iter()
+            .filter(|o| matches!(o, WarpOp::GlobalAccess { .. }))
+            .count();
+        let cached = ops
+            .iter()
+            .filter(|o| matches!(o, WarpOp::SharedAccess { .. }))
+            .count();
+        assert_eq!(globals, 1, "one line load");
+        assert!(cached >= 2, "later probes hit cache, got {cached}");
+    }
+
+    #[test]
+    fn long_list_probes_scatter_short_list_probes_coalesce() {
+        // Global-memory probes over a long list touch many segments at the
+        // top of the search tree; a short list stays within one segment.
+        let long: Vec<u32> = (0..8192).collect();
+        let short: Vec<u32> = (0..16).collect();
+        let keys_long: Vec<u32> = (0..32).map(|i| i * 256 + 1).collect();
+        let keys_short: Vec<u32> = (0..16).collect();
+
+        let mut ops_long = Vec::new();
+        let mut ops_short = Vec::new();
+        let costs = SearchCosts::default();
+        lockstep_binary_search(
+            &long,
+            &keys_long,
+            SearchSpace::Global { base: 0 },
+            &costs,
+            &mut ops_long,
+        );
+        lockstep_binary_search(
+            &short,
+            &keys_short,
+            SearchSpace::Global { base: 0 },
+            &costs,
+            &mut ops_short,
+        );
+        let seg = |ops: &[WarpOp]| -> u32 {
+            ops.iter()
+                .map(|o| match o {
+                    WarpOp::GlobalAccess { segments } => *segments,
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(seg(&ops_long) > 4, "long-list probes must scatter");
+        assert_eq!(seg(&ops_short), 1, "short-list probes must coalesce");
+    }
+}

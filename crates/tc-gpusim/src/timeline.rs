@@ -1,0 +1,180 @@
+//! Block-timeline analysis: tail diagnostics and a Chrome-trace export.
+//!
+//! [`crate::engine::simulate_with_events`] records every block's lifetime;
+//! this module turns those records into the quantities the paper's
+//! load-balance arguments are about (how long does the last block straggle
+//! after the average SM is done?) and into a `chrome://tracing` /
+//! [Perfetto](https://ui.perfetto.dev) JSON file for visual inspection.
+
+use crate::engine::BlockEvent;
+use std::fmt::Write as _;
+
+/// Aggregate tail statistics of one kernel's block timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TailStats {
+    /// Kernel makespan (cycle of the last block completion).
+    pub makespan: u64,
+    /// Mean over SMs of the cycle their final block completed.
+    pub mean_sm_finish: f64,
+    /// The straggler window: makespan − earliest SM finish.
+    pub straggle_window: u64,
+    /// Duration of the single longest block.
+    pub longest_block: u64,
+    /// Fraction of the makespan occupied by the longest block — values
+    /// near 1.0 mean a single block gates the kernel (the load-imbalance
+    /// pathology reordering schemes can create or cure).
+    pub longest_block_share: f64,
+}
+
+/// Computes [`TailStats`] from a block event log.
+///
+/// Returns `None` for empty logs.
+pub fn tail_stats(events: &[BlockEvent]) -> Option<TailStats> {
+    if events.is_empty() {
+        return None;
+    }
+    let makespan = events.iter().map(|e| e.end_cycles).max()?;
+    let num_sms = events.iter().map(|e| e.sm).max()? + 1;
+    let mut sm_finish = vec![0u64; num_sms];
+    for e in events {
+        sm_finish[e.sm] = sm_finish[e.sm].max(e.end_cycles);
+    }
+    // SMs that received no blocks finish at 0 and would skew the window;
+    // only count SMs that did work.
+    let active: Vec<u64> = sm_finish.iter().copied().filter(|&f| f > 0).collect();
+    let earliest = active.iter().copied().min().unwrap_or(0);
+    let mean = active.iter().sum::<u64>() as f64 / active.len().max(1) as f64;
+    let longest_block = events
+        .iter()
+        .map(|e| e.end_cycles - e.start_cycles)
+        .max()
+        .unwrap_or(0);
+    Some(TailStats {
+        makespan,
+        mean_sm_finish: mean,
+        straggle_window: makespan - earliest,
+        longest_block,
+        longest_block_share: longest_block as f64 / makespan.max(1) as f64,
+    })
+}
+
+/// Serializes the block timeline as Chrome-trace JSON ("traceEvents"
+/// format): one complete event per block, one track per SM. Load the
+/// output in `chrome://tracing` or Perfetto.
+pub fn chrome_trace_json(events: &[BlockEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Durations in "microseconds" = cycles (tools just want numbers).
+        let _ = write!(
+            out,
+            "{{\"name\":\"block {}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}",
+            e.block,
+            e.start_cycles,
+            e.end_cycles - e.start_cycles,
+            e.sm
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A terminal Gantt sketch: one row per SM, `width` columns spanning the
+/// makespan, `#` where the SM is executing some block.
+pub fn ascii_gantt(events: &[BlockEvent], width: usize) -> String {
+    let Some(makespan) = events.iter().map(|e| e.end_cycles).max() else {
+        return String::new();
+    };
+    let num_sms = events.iter().map(|e| e.sm).max().unwrap_or(0) + 1;
+    let width = width.max(10);
+    let scale = |c: u64| ((c as f64 / makespan.max(1) as f64) * (width - 1) as f64) as usize;
+    let mut rows = vec![vec![b' '; width]; num_sms];
+    for e in events {
+        for cell in &mut rows[e.sm][scale(e.start_cycles)..=scale(e.end_cycles)] {
+            *cell = b'#';
+        }
+    }
+    let mut out = String::new();
+    for (sm, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "SM{sm:>3} |{}|", String::from_utf8_lossy(row));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_with_events;
+    use crate::ops::WarpOp;
+    use crate::trace::{BlockTrace, SliceBlockSource, WarpTrace};
+    use crate::GpuConfig;
+
+    fn sample_events() -> Vec<BlockEvent> {
+        let blocks: Vec<BlockTrace> = (1..=6)
+            .map(|i| BlockTrace::new(vec![WarpTrace::new(vec![WarpOp::Compute(i * 50)])]))
+            .collect();
+        let mut gpu = GpuConfig::tiny();
+        gpu.num_sms = 2;
+        let (_, events) = simulate_with_events(&gpu, &SliceBlockSource::new(blocks));
+        events
+    }
+
+    #[test]
+    fn every_block_is_logged_once() {
+        let events = sample_events();
+        let mut ids: Vec<usize> = events.iter().map(|e| e.block).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn events_are_well_formed() {
+        for e in sample_events() {
+            assert!(e.end_cycles >= e.start_cycles);
+            assert!(e.sm < 2);
+        }
+    }
+
+    #[test]
+    fn tail_stats_are_consistent() {
+        let events = sample_events();
+        let stats = tail_stats(&events).expect("non-empty");
+        assert!(stats.makespan > 0);
+        assert!(stats.longest_block <= stats.makespan);
+        assert!(stats.mean_sm_finish <= stats.makespan as f64);
+        assert!((0.0..=1.0).contains(&stats.longest_block_share));
+        assert!(tail_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let json = chrome_trace_json(&sample_events());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 6);
+    }
+
+    #[test]
+    fn gantt_renders_one_row_per_sm() {
+        let g = ascii_gantt(&sample_events(), 40);
+        assert_eq!(g.lines().count(), 2);
+        assert!(g.contains('#'));
+        assert!(ascii_gantt(&[], 40).is_empty());
+    }
+
+    #[test]
+    fn serial_blocks_tile_the_timeline() {
+        // One SM, one slot: blocks must not overlap.
+        let blocks: Vec<BlockTrace> = (0..4)
+            .map(|_| BlockTrace::new(vec![WarpTrace::new(vec![WarpOp::Compute(100)])]))
+            .collect();
+        let (_, mut events) =
+            simulate_with_events(&GpuConfig::tiny(), &SliceBlockSource::new(blocks));
+        events.sort_by_key(|e| e.start_cycles);
+        for pair in events.windows(2) {
+            assert!(pair[1].start_cycles >= pair[0].end_cycles);
+        }
+    }
+}

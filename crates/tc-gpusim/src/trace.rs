@@ -1,0 +1,159 @@
+//! Kernel traces: how algorithms describe their work to the engine.
+
+use crate::ops::WarpOp;
+
+/// The op stream of one warp.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WarpTrace {
+    /// Operations in program order.
+    pub ops: Vec<WarpOp>,
+}
+
+impl WarpTrace {
+    /// An empty warp (idle for the whole block).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds from an op list.
+    pub fn new(ops: Vec<WarpOp>) -> Self {
+        Self { ops }
+    }
+
+    /// Total compute cycles in this trace.
+    pub fn compute_cycles(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                WarpOp::Compute(c) => *c as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total memory transactions (global + shared) in this trace.
+    pub fn memory_transactions(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                WarpOp::GlobalAccess { segments } => *segments as u64,
+                WarpOp::SharedAccess { transactions } => *transactions as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of `BlockSync` barriers this warp participates in.
+    pub fn sync_count(&self) -> usize {
+        self.ops.iter().filter(|op| **op == WarpOp::BlockSync).count()
+    }
+}
+
+/// The op streams of one block's warps.
+///
+/// Every **non-empty** warp of a block must contain the same number of
+/// `BlockSync` ops — a real kernel deadlocks otherwise, and
+/// [`crate::simulate`] panics to surface the bug. Completely empty warps
+/// are permitted as padding (they model lanes the kernel masks out before
+/// the first barrier).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockTrace {
+    /// One trace per warp in the block.
+    pub warps: Vec<WarpTrace>,
+}
+
+impl BlockTrace {
+    /// Builds from warp traces.
+    pub fn new(warps: Vec<WarpTrace>) -> Self {
+        Self { warps }
+    }
+
+    /// Whether all non-empty warps agree on barrier count (kernel is
+    /// deadlock-free). Empty padding warps are ignored.
+    pub fn barriers_consistent(&self) -> bool {
+        let mut counts = self
+            .warps
+            .iter()
+            .filter(|w| !w.ops.is_empty())
+            .map(WarpTrace::sync_count);
+        match counts.next() {
+            None => true,
+            Some(first) => counts.all(|c| c == first),
+        }
+    }
+}
+
+/// A lazily generated sequence of block traces.
+///
+/// The engine pulls blocks on demand as SM slots free up, so a kernel with
+/// hundreds of thousands of blocks never materializes more than
+/// `num_sms × blocks_per_sm` traces at once. Implementations regenerate
+/// each block's ops from the graph — deterministic, so repeated calls with
+/// the same index must return the same trace.
+pub trait BlockSource {
+    /// Total number of blocks in the kernel grid.
+    fn num_blocks(&self) -> usize;
+
+    /// The trace of block `idx` (`0 <= idx < num_blocks()`).
+    fn block(&self, idx: usize) -> BlockTrace;
+}
+
+/// A [`BlockSource`] over pre-materialized traces; convenient for tests and
+/// micro-benchmarks.
+#[derive(Clone, Debug)]
+pub struct SliceBlockSource {
+    blocks: Vec<BlockTrace>,
+}
+
+impl SliceBlockSource {
+    /// Wraps explicit block traces.
+    pub fn new(blocks: Vec<BlockTrace>) -> Self {
+        Self { blocks }
+    }
+}
+
+impl BlockSource for SliceBlockSource {
+    fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn block(&self, idx: usize) -> BlockTrace {
+        self.blocks[idx].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_trace_aggregates() {
+        let w = WarpTrace::new(vec![
+            WarpOp::Compute(3),
+            WarpOp::GlobalAccess { segments: 4 },
+            WarpOp::BlockSync,
+            WarpOp::SharedAccess { transactions: 2 },
+            WarpOp::Compute(5),
+        ]);
+        assert_eq!(w.compute_cycles(), 8);
+        assert_eq!(w.memory_transactions(), 6);
+        assert_eq!(w.sync_count(), 1);
+    }
+
+    #[test]
+    fn barrier_consistency() {
+        let sync = WarpTrace::new(vec![WarpOp::BlockSync]);
+        let nosync = WarpTrace::new(vec![WarpOp::Compute(1)]);
+        assert!(BlockTrace::new(vec![sync.clone(), sync.clone()]).barriers_consistent());
+        assert!(!BlockTrace::new(vec![sync, nosync]).barriers_consistent());
+        assert!(BlockTrace::default().barriers_consistent());
+    }
+
+    #[test]
+    fn slice_source_round_trips() {
+        let b = BlockTrace::new(vec![WarpTrace::new(vec![WarpOp::Compute(1)])]);
+        let src = SliceBlockSource::new(vec![b.clone(), b.clone()]);
+        assert_eq!(src.num_blocks(), 2);
+        assert_eq!(src.block(1), b);
+    }
+}

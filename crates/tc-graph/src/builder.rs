@@ -1,0 +1,136 @@
+//! Ingestion of raw edge lists into validated [`CsrGraph`]s.
+
+use crate::{CsrGraph, VertexId};
+
+/// Accumulates raw (possibly duplicated, possibly self-looping) undirected
+/// edges and produces a canonical [`CsrGraph`].
+///
+/// The builder is the single trusted entry point for constructing graphs
+/// from external data: it drops self-loops, deduplicates parallel edges,
+/// sorts adjacency lists, and symmetrizes.
+///
+/// ```
+/// use tc_graph::GraphBuilder;
+/// let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 0), (1, 1), (2, 3)]).build();
+/// assert_eq!(g.num_edges(), 2); // duplicate and self-loop removed
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `num_vertices` vertices and no edges yet.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from a slice of undirected edges.
+    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut b = Self::new(num_vertices);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b
+    }
+
+    /// Adds one undirected edge. Self-loops are silently dropped; endpoint
+    /// order does not matter; duplicates are removed at [`build`] time.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    ///
+    /// [`build`]: GraphBuilder::build
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(
+            (u as usize) < self.num_vertices && (v as usize) < self.num_vertices,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.num_vertices
+        );
+        if u == v {
+            return;
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+
+    /// Number of raw edges added so far (before dedup).
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a canonical [`CsrGraph`].
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.num_vertices;
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as VertexId; acc];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Edges were processed in sorted order, so each vertex's list of
+        // *larger* neighbours is ascending, but smaller neighbours arrive
+        // interleaved; one sort per list restores the invariant.
+        for u in 0..n {
+            neighbors[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+
+        CsrGraph::from_parts(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]).build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted() {
+        let g = GraphBuilder::from_edges(5, &[(4, 2), (2, 0), (2, 3), (1, 2)]).build();
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(7).build();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Connected components and induced subgraphs.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use std::collections::VecDeque;
+
+/// Component labelling of a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// Component id of each vertex (ids are dense, assigned in order of
+    /// first discovery).
+    pub label: Vec<u32>,
+    /// Vertex count of each component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Id of the largest component (ties: lowest id).
+    pub fn giant(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, usize::MAX - i))
+            .map(|(i, _)| i as u32)
+    }
+}
+
+/// Labels connected components by BFS. `O(|V| + |E|)`.
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for s in 0..n as u32 {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0usize;
+        label[s as usize] = id;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = id;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { label, sizes }
+}
+
+/// Extracts the subgraph induced by `vertices`, relabelling them densely
+/// in the order given. Returns the subgraph and the mapping from new ids
+/// back to the original ones.
+///
+/// # Panics
+/// Panics if `vertices` contains duplicates or out-of-range ids.
+pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> (CsrGraph, Vec<VertexId>) {
+    let mut new_id = vec![u32::MAX; g.num_vertices()];
+    for (new, &old) in vertices.iter().enumerate() {
+        assert!(
+            new_id[old as usize] == u32::MAX,
+            "duplicate vertex {old} in subgraph selection"
+        );
+        new_id[old as usize] = new as u32;
+    }
+    let mut b = GraphBuilder::new(vertices.len());
+    for (new_u, &old_u) in vertices.iter().enumerate() {
+        for &old_v in g.neighbors(old_u) {
+            let new_v = new_id[old_v as usize];
+            if new_v != u32::MAX && (new_u as u32) < new_v {
+                b.add_edge(new_u as u32, new_v);
+            }
+        }
+    }
+    (b.build(), vertices.to_vec())
+}
+
+/// The largest connected component as its own graph, plus the mapping
+/// from its ids back to the original graph.
+pub fn giant_component(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
+    let comps = connected_components(g);
+    match comps.giant() {
+        None => (CsrGraph::empty(0), Vec::new()),
+        Some(id) => {
+            let members: Vec<VertexId> = g
+                .vertices()
+                .filter(|&v| comps.label[v as usize] == id)
+                .collect();
+            induced_subgraph(g, &members)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+
+    #[test]
+    fn single_component_plus_isolates() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3); // {0,1,2}, {3}, {4}
+        assert_eq!(c.sizes[c.giant().unwrap() as usize], 3);
+        assert_eq!(c.label[0], c.label[2]);
+        assert_ne!(c.label[0], c.label[3]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let c = connected_components(&CsrGraph::empty(0));
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.giant(), None);
+    }
+
+    #[test]
+    fn component_sizes_sum_to_vertex_count() {
+        let g = erdos_renyi(200, 150, 7); // sparse → several components
+        let c = connected_components(&g);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 200);
+        assert!(c.count() > 1);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 2)]).build();
+        let (sub, back) = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3); // 0-1, 1-2, 0-2
+        assert_eq!(back, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn giant_component_is_connected() {
+        let g = erdos_renyi(300, 350, 3);
+        let (giant, back) = giant_component(&g);
+        assert_eq!(giant.num_vertices(), back.len());
+        let c = connected_components(&giant);
+        assert_eq!(c.count(), 1, "giant component must be connected");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex")]
+    fn duplicate_selection_panics() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1)]).build();
+        let _ = induced_subgraph(&g, &[0, 0]);
+    }
+}

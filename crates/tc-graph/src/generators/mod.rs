@@ -1,0 +1,31 @@
+//! Seeded synthetic graph generators.
+//!
+//! Every generator is deterministic given its parameters and seed, which is
+//! what makes the experiment corpus in `tc-datasets` reproducible. The
+//! models cover the structural classes of the paper's evaluation datasets:
+//!
+//! - [`rmat`](mod@rmat): R-MAT / Kronecker graphs (the paper's `kron-logn*` inputs and
+//!   GraphChallenge `s*.kron` inputs);
+//! - [`configuration`]: power-law configuration model (the ACL model used
+//!   for the paper's Figure 7 approximation-ratio study, and stand-ins for
+//!   skewed social graphs);
+//! - [`preferential`]: Barabási–Albert preferential attachment (citation
+//!   graph stand-in);
+//! - [`lattice`]: perturbed 2-D lattices (road-network stand-in: near-uniform
+//!   tiny degrees);
+//! - [`erdos_renyi`](mod@erdos_renyi): G(n, m) uniform random graphs (model sanity baseline);
+//! - [`small_world`]: Watts–Strogatz rewired rings (high clustering).
+
+pub mod configuration;
+pub mod erdos_renyi;
+pub mod lattice;
+pub mod preferential;
+pub mod rmat;
+pub mod small_world;
+
+pub use configuration::{power_law_configuration, power_law_degree_sequence};
+pub use erdos_renyi::erdos_renyi;
+pub use lattice::road_lattice;
+pub use preferential::preferential_attachment;
+pub use rmat::{rmat, RmatParams};
+pub use small_world::watts_strogatz;

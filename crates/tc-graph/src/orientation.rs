@@ -1,0 +1,109 @@
+//! Turning undirected graphs into oriented ones via a strict total rank.
+
+use crate::{CsrGraph, DirectedGraph, VertexId};
+
+/// Orients every undirected edge from the endpoint with the **smaller rank**
+/// to the one with the larger rank.
+///
+/// Because `rank` induces a strict total order on vertices, the resulting
+/// directed graph is acyclic — in particular it contains no directed
+/// 3-cycle, so every triangle of the source graph survives as exactly one
+/// directed wedge-closing pattern `u -> v, u -> w, v -> w`. All edge-directing
+/// schemes in `tc-core` reduce to computing a rank array and calling this.
+///
+/// # Panics
+/// Panics if `rank.len() != g.num_vertices()` or if two adjacent vertices
+/// share a rank (which would leave an edge undirectable).
+pub fn orient_by_rank(g: &CsrGraph, rank: &[u64]) -> DirectedGraph {
+    assert_eq!(
+        rank.len(),
+        g.num_vertices(),
+        "rank array must cover every vertex"
+    );
+    let n = g.num_vertices();
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut acc = 0usize;
+    for u in 0..n as VertexId {
+        let ru = rank[u as usize];
+        let out = g
+            .neighbors(u)
+            .iter()
+            .filter(|&&v| {
+                let rv = rank[v as usize];
+                assert_ne!(ru, rv, "adjacent vertices {u} and {v} share rank {ru}");
+                ru < rv
+            })
+            .count();
+        acc += out;
+        offsets.push(acc);
+    }
+
+    let mut out_neighbors = Vec::with_capacity(acc);
+    for u in 0..n as VertexId {
+        let ru = rank[u as usize];
+        // Source list is sorted; filtering preserves order, so out-lists
+        // stay sorted without a second pass.
+        out_neighbors.extend(
+            g.neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&v| ru < rank[v as usize]),
+        );
+    }
+
+    DirectedGraph::from_parts(offsets, out_neighbors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn k4() -> CsrGraph {
+        GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).build()
+    }
+
+    #[test]
+    fn identity_rank_orients_small_to_large_id() {
+        let g = k4();
+        let d = orient_by_rank(&g, &[0, 1, 2, 3]);
+        assert_eq!(d.out_neighbors(0), &[1, 2, 3]);
+        assert_eq!(d.out_degree(3), 0);
+        assert_eq!(d.num_edges(), 6);
+        assert!(d.validate().is_ok());
+        assert_eq!(d.find_directed_triangle_cycle(), None);
+    }
+
+    #[test]
+    fn reversed_rank_flips_orientation() {
+        let g = k4();
+        let d = orient_by_rank(&g, &[3, 2, 1, 0]);
+        assert_eq!(d.out_degree(0), 0);
+        assert_eq!(d.out_neighbors(3), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn every_edge_directed_exactly_once() {
+        let g = k4();
+        let d = orient_by_rank(&g, &[7, 3, 11, 5]);
+        assert_eq!(d.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(d.has_edge(u, v) ^ d.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share rank")]
+    fn equal_ranks_on_adjacent_vertices_panic() {
+        let g = k4();
+        let _ = orient_by_rank(&g, &[1, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every vertex")]
+    fn short_rank_array_panics() {
+        let g = k4();
+        let _ = orient_by_rank(&g, &[0, 1]);
+    }
+}

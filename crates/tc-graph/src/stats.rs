@@ -1,0 +1,199 @@
+//! Degree statistics used by the paper's analytic models.
+
+use crate::CsrGraph;
+
+/// Summary of a graph's degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree (`2|E| / |V|`).
+    pub mean: f64,
+    /// Population standard deviation of the degree distribution.
+    pub std_dev: f64,
+    /// Coefficient of variation (`std_dev / mean`); the paper's imbalance
+    /// pathologies appear when this is large.
+    pub cv: f64,
+}
+
+/// Computes [`DegreeStats`] for a graph.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeStats {
+            num_vertices: 0,
+            num_edges: 0,
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            cv: 0.0,
+        };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    let mut sum_sq = 0f64;
+    for u in g.vertices() {
+        let d = g.degree(u);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+        sum_sq += (d * d) as f64;
+    }
+    let mean = sum as f64 / n as f64;
+    let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+    let std_dev = var.sqrt();
+    DegreeStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        min,
+        max,
+        mean,
+        std_dev,
+        cv: if mean > 0.0 { std_dev / mean } else { 0.0 },
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let max = g.vertices().map(|u| g.degree(u)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for u in g.vertices() {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges). Positive: high-degree vertices attach to each other (social
+/// networks); negative: hubs attach to leaves (technological networks).
+/// Returns `None` when the correlation is undefined (fewer than two edges
+/// or zero variance).
+pub fn degree_assortativity(g: &CsrGraph) -> Option<f64> {
+    let m = g.num_edges();
+    if m < 2 {
+        return None;
+    }
+    // Work over both orientations of each edge (the standard estimator).
+    let mut sum_x = 0f64;
+    let mut sum_xx = 0f64;
+    let mut sum_xy = 0f64;
+    let n = (2 * m) as f64;
+    for u in g.vertices() {
+        let du = g.degree(u) as f64;
+        for &v in g.neighbors(u) {
+            let dv = g.degree(v) as f64;
+            sum_x += du;
+            sum_xx += du * du;
+            sum_xy += du * dv;
+        }
+    }
+    let mean = sum_x / n;
+    let var = sum_xx / n - mean * mean;
+    if var <= 0.0 {
+        return None;
+    }
+    let cov = sum_xy / n - mean * mean;
+    Some(cov / var)
+}
+
+/// Maximum-likelihood estimate of the power-law exponent `γ` for the tail
+/// `d ≥ d_min` (Clauset–Shalizi–Newman continuous approximation). Returns
+/// `None` if fewer than two vertices qualify.
+pub fn power_law_exponent_mle(g: &CsrGraph, d_min: usize) -> Option<f64> {
+    let d_min = d_min.max(1);
+    let mut count = 0usize;
+    let mut log_sum = 0f64;
+    for u in g.vertices() {
+        let d = g.degree(u);
+        if d >= d_min {
+            count += 1;
+            log_sum += (d as f64 / d_min as f64).ln();
+        }
+    }
+    if count < 2 || log_sum <= 0.0 {
+        return None;
+    }
+    Some(1.0 + count as f64 / log_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{power_law_configuration, road_lattice};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_star_graph() {
+        // Star with center 0 and 4 leaves.
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).build();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+        assert!(s.cv > 0.5);
+    }
+
+    #[test]
+    fn histogram_sums_to_vertex_count() {
+        let g = power_law_configuration(500, 2.3, 6.0, 8);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), g.num_vertices());
+    }
+
+    #[test]
+    fn power_law_graph_has_high_cv_road_low() {
+        let pl = degree_stats(&power_law_configuration(3000, 2.2, 8.0, 1));
+        let road = degree_stats(&road_lattice(55, 55, 0.05, 0.05, 1));
+        assert!(
+            pl.cv > 2.0 * road.cv,
+            "power-law cv {} vs road cv {}",
+            pl.cv,
+            road.cv
+        );
+    }
+
+    #[test]
+    fn mle_recovers_rough_exponent() {
+        let g = power_law_configuration(20000, 2.5, 6.0, 2);
+        let gamma = power_law_exponent_mle(&g, 5).expect("enough tail");
+        assert!(
+            (1.6..=3.4).contains(&gamma),
+            "estimated gamma {gamma} implausible"
+        );
+    }
+
+    #[test]
+    fn assortativity_signs_match_structure() {
+        // Star: hub pairs exclusively with leaves → strongly negative.
+        let star =
+            GraphBuilder::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).build();
+        let a = degree_assortativity(&star).expect("defined");
+        assert!((a - -1.0).abs() < 1e-9, "star assortativity {a}");
+
+        // Regular ring: all degrees equal → undefined (zero variance).
+        let ring = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+        assert_eq!(degree_assortativity(&ring), None);
+    }
+
+    #[test]
+    fn assortativity_in_valid_range() {
+        let g = power_law_configuration(2000, 2.2, 8.0, 3);
+        let a = degree_assortativity(&g).expect("defined");
+        assert!((-1.0..=1.0).contains(&a), "assortativity {a}");
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = degree_stats(&CsrGraph::empty(0));
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.cv, 0.0);
+    }
+}

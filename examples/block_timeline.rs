@@ -1,0 +1,49 @@
+//! Visualize a kernel's block schedule: ASCII Gantt chart per SM, tail
+//! diagnostics, and a Chrome-trace JSON dump you can open in
+//! `chrome://tracing` or Perfetto.
+//!
+//! ```text
+//! cargo run --release --example block_timeline [out.json]
+//! ```
+
+use gpu_tc::algos::hu::HuFineGrained;
+use gpu_tc::core::{DirectionScheme, OrderingScheme, Preprocessor};
+use gpu_tc::datasets::{self, Dataset};
+use gpu_tc::gpusim::timeline::{ascii_gantt, chrome_trace_json, tail_stats};
+use gpu_tc::gpusim::GpuConfig;
+
+fn main() {
+    let g = datasets::load(Dataset::EmailEucore);
+    let mut gpu = GpuConfig::titan_xp_like();
+    gpu.num_sms = 8; // few SMs → readable Gantt rows
+
+    for ordering in [OrderingScheme::DegreeOrder, OrderingScheme::AOrder] {
+        let prep = Preprocessor::new()
+            .direction(DirectionScheme::DegreeBased)
+            .ordering(ordering)
+            .run(&g);
+        let (run, events) = HuFineGrained::default().count_with_events(prep.directed(), &gpu);
+        println!(
+            "\n=== Hu's kernel under {} ({} cycles) ===",
+            ordering.name(),
+            run.metrics.kernel_cycles
+        );
+        println!("{}", ascii_gantt(&events, 72));
+        if let Some(t) = tail_stats(&events) {
+            println!(
+                "makespan {} | straggle window {} | longest block {} ({:.1}% of makespan)",
+                t.makespan,
+                t.straggle_window,
+                t.longest_block,
+                100.0 * t.longest_block_share
+            );
+        }
+
+        if ordering == OrderingScheme::AOrder {
+            if let Some(path) = std::env::args().nth(1) {
+                std::fs::write(&path, chrome_trace_json(&events)).expect("write trace");
+                println!("chrome trace written to {path}");
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Compare every (direction × ordering) preprocessing combination on one
+//! dataset across all six GPU algorithms — a miniature of the paper's
+//! whole evaluation, on your terminal.
+//!
+//! ```text
+//! cargo run --release --example preprocessing_comparison [dataset]
+//! ```
+//!
+//! `dataset` is one of the stand-in names (default: `kron-logn18`).
+
+use gpu_tc::core::{DirectionScheme, OrderingScheme, Preprocessor};
+use gpu_tc::datasets::{self, Dataset};
+use gpu_tc::gpusim::GpuConfig;
+
+fn main() {
+    let want = std::env::args().nth(1).unwrap_or_else(|| "kron-logn18".into());
+    let dataset = Dataset::all()
+        .into_iter()
+        .find(|d| d.name() == want)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown dataset {want}; available: {}",
+                Dataset::all()
+                    .iter()
+                    .map(|d| d.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        });
+
+    let graph = datasets::load(dataset);
+    let gpu = GpuConfig::titan_xp_like();
+    println!(
+        "{}: {} vertices, {} edges — kernel ms on the simulated Titan Xp\n",
+        dataset.name(),
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let directions = [
+        DirectionScheme::IdBased,
+        DirectionScheme::DegreeBased,
+        DirectionScheme::ADirection,
+    ];
+    let orderings = [
+        OrderingScheme::Original,
+        OrderingScheme::DegreeOrder,
+        OrderingScheme::AOrder,
+    ];
+
+    let mut reference: Option<u64> = None;
+    for algo in gpu_tc::algos::all_gpu_algorithms() {
+        println!("== {}", algo.name());
+        print!("{:>24}", "");
+        for o in &orderings {
+            print!("  {:>10}", o.name());
+        }
+        println!();
+        for dir in &directions {
+            print!("{:>24}", dir.name());
+            for ord in &orderings {
+                let prep = Preprocessor::new().direction(*dir).ordering(*ord).run(&graph);
+                let run = algo.count(prep.directed(), &gpu);
+                // Every combination must agree on the exact count.
+                match reference {
+                    None => reference = Some(run.triangles),
+                    Some(t) => assert_eq!(t, run.triangles, "count mismatch!"),
+                }
+                print!("  {:>10.3}", run.kernel_ms(&gpu));
+            }
+            println!();
+        }
+        println!();
+    }
+    println!(
+        "all {} configurations agree: {} triangles",
+        directions.len() * orderings.len() * 6,
+        reference.unwrap_or(0)
+    );
+}

@@ -1,0 +1,44 @@
+//! # gpu-tc — Accelerating Triangle Counting on GPU (SIGMOD 2021), in Rust
+//!
+//! This crate is the facade over the reproduction workspace. It re-exports
+//! the substrate crates so downstream users need a single dependency:
+//!
+//! - [`graph`] — CSR graphs, generators, permutations, orientations.
+//! - [`gpusim`] — the deterministic GPU timing simulator.
+//! - [`algos`] — five GPU triangle-counting algorithms (Gunrock, TriCore,
+//!   Fox, Bisson, Hu) as simulator trace generators, plus CPU baselines.
+//! - [`core`] — the paper's contribution: analytic cost models, A-direction
+//!   edge directing, A-order vertex reordering, calibration, and the
+//!   preprocessing pipeline.
+//! - [`datasets`] — deterministic stand-ins for the paper's evaluation
+//!   datasets.
+//! - [`apps`] — the paper's motivating applications built on triangle
+//!   counting: k-truss decomposition, clustering coefficients, and
+//!   triangle-based link recommendation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gpu_tc::datasets::{self, Dataset};
+//! use gpu_tc::core::pipeline::Preprocessor;
+//! use gpu_tc::core::{direction::DirectionScheme, ordering::OrderingScheme};
+//! use gpu_tc::algos::{hu::HuFineGrained, GpuTriangleCounter};
+//! use gpu_tc::gpusim::GpuConfig;
+//!
+//! let graph = datasets::load(Dataset::EmailEucore);
+//! let prep = Preprocessor::new()
+//!     .direction(DirectionScheme::ADirection)
+//!     .ordering(OrderingScheme::AOrder)
+//!     .run(&graph);
+//! let gpu = GpuConfig::titan_xp_like();
+//! let run = HuFineGrained::default().count(prep.directed(), &gpu);
+//! // Counts are exact: they match the CPU reference on every run.
+//! assert_eq!(run.triangles, gpu_tc::algos::cpu::directed_count(prep.directed()));
+//! ```
+
+pub use tc_algos as algos;
+pub use tc_apps as apps;
+pub use tc_core as core;
+pub use tc_datasets as datasets;
+pub use tc_gpusim as gpusim;
+pub use tc_graph as graph;

@@ -1,0 +1,124 @@
+//! Cross-crate correctness: every GPU algorithm must produce the exact
+//! triangle count under every preprocessing combination, on structured
+//! datasets and on randomly generated graphs.
+
+use gpu_tc::algos::cpu;
+use gpu_tc::core::{DirectionScheme, OrderingScheme, Preprocessor};
+use gpu_tc::gpusim::GpuConfig;
+use gpu_tc::graph::generators::{erdos_renyi, power_law_configuration, watts_strogatz};
+use gpu_tc::graph::CsrGraph;
+use proptest::prelude::*;
+
+fn check_all_algorithms(g: &CsrGraph, gpu: &GpuConfig) {
+    let expect = cpu::node_iterator(g);
+    for direction in DirectionScheme::all() {
+        for ordering in [
+            OrderingScheme::Original,
+            OrderingScheme::DegreeOrder,
+            OrderingScheme::AOrder,
+            OrderingScheme::Dfs,
+        ] {
+            let prep = Preprocessor::new()
+                .direction(direction)
+                .ordering(ordering)
+                .run(g);
+            for algo in gpu_tc::algos::all_gpu_algorithms() {
+                let run = algo.count(prep.directed(), gpu);
+                assert_eq!(
+                    run.triangles,
+                    expect,
+                    "{} under {} + {}",
+                    algo.name(),
+                    direction.name(),
+                    ordering.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_exact_on_skewed_graph() {
+    let g = power_law_configuration(400, 2.1, 8.0, 77);
+    check_all_algorithms(&g, &GpuConfig::titan_xp_like());
+}
+
+#[test]
+fn all_algorithms_exact_on_clustered_graph() {
+    let g = watts_strogatz(300, 3, 0.1, 5);
+    check_all_algorithms(&g, &GpuConfig::titan_xp_like());
+}
+
+#[test]
+fn all_algorithms_exact_on_tiny_gpu() {
+    // One SM, one block slot, two warps: maximal queueing pressure.
+    let g = erdos_renyi(150, 600, 3);
+    check_all_algorithms(&g, &GpuConfig::tiny());
+}
+
+#[test]
+fn cpu_baselines_agree_on_datasets() {
+    for dataset in [
+        gpu_tc::datasets::Dataset::EmailEucore,
+        gpu_tc::datasets::Dataset::KronLogn18,
+    ] {
+        let g = gpu_tc::datasets::load(dataset);
+        let expect = cpu::forward(&g);
+        assert_eq!(cpu::edge_iterator(&g), expect, "{}", dataset.name());
+        let d = DirectionScheme::DegreeBased.orient(&g);
+        assert_eq!(cpu::directed_count(&d), expect, "{}", dataset.name());
+        assert_eq!(cpu::parallel_count(&d, 4), expect, "{}", dataset.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random graphs: GPU counts equal the CPU reference under random
+    /// preprocessing choices.
+    #[test]
+    fn random_graphs_count_exactly(
+        n in 4usize..60,
+        edge_factor in 1usize..6,
+        seed in 0u64..1_000,
+        dir_idx in 0usize..3,
+        ord_idx in 0usize..3,
+    ) {
+        let g = erdos_renyi(n, n * edge_factor, seed);
+        let expect = cpu::node_iterator(&g);
+        let direction = DirectionScheme::all()[dir_idx];
+        let ordering = [
+            OrderingScheme::Original,
+            OrderingScheme::AOrder,
+            OrderingScheme::Gro,
+        ][ord_idx];
+        let prep = Preprocessor::new().direction(direction).ordering(ordering).run(&g);
+        let gpu = GpuConfig::tiny();
+        for algo in gpu_tc::algos::all_gpu_algorithms() {
+            prop_assert_eq!(algo.count(prep.directed(), &gpu).triangles, expect);
+        }
+    }
+}
+
+/// Full-corpus audit: every dataset stand-in, counted by two independent
+/// CPU algorithms and one GPU algorithm. Slow — run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "multi-minute corpus audit; run with --ignored in release mode"]
+fn corpus_audit() {
+    use gpu_tc::algos::hu::HuFineGrained;
+    use gpu_tc::algos::GpuTriangleCounter;
+    let gpu = GpuConfig::titan_xp_like();
+    for dataset in gpu_tc::datasets::Dataset::all() {
+        let g = gpu_tc::datasets::load(dataset);
+        let forward = cpu::forward(&g);
+        let edge_iter = cpu::edge_iterator(&g);
+        assert_eq!(forward, edge_iter, "{}", dataset.name());
+        let prep = Preprocessor::new()
+            .direction(DirectionScheme::ADirection)
+            .ordering(OrderingScheme::AOrder)
+            .run(&g);
+        let run = HuFineGrained::default().count(prep.directed(), &gpu);
+        assert_eq!(run.triangles, forward, "{}", dataset.name());
+    }
+}

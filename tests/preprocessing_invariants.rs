@@ -1,0 +1,123 @@
+//! Property tests on the preprocessing layer's invariants: orientations
+//! are acyclic and complete, permutations are bijections that preserve
+//! structure, and the analytic guarantees hold.
+
+use gpu_tc::core::cost::{direction_cost, ordering_cost};
+use gpu_tc::core::direction::approximation_ratio_bound;
+use gpu_tc::core::model::ModelParams;
+use gpu_tc::core::ordering::{OrderingContext, OrderingScheme};
+use gpu_tc::core::DirectionScheme;
+use gpu_tc::graph::generators::{erdos_renyi, power_law_configuration};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any directing scheme orients every edge exactly once and creates no
+    /// directed 3-cycle.
+    #[test]
+    fn orientations_are_acyclic_and_complete(
+        n in 3usize..80,
+        m in 2usize..200,
+        seed in 0u64..10_000,
+        dir_idx in 0usize..4,
+    ) {
+        let g = erdos_renyi(n.max(3), m, seed);
+        let scheme = [
+            DirectionScheme::IdBased,
+            DirectionScheme::DegreeBased,
+            DirectionScheme::ADirection,
+            DirectionScheme::ADirectionPhased,
+        ][dir_idx];
+        let d = scheme.orient(&g);
+        prop_assert_eq!(d.num_edges(), g.num_edges());
+        prop_assert!(d.validate().is_ok());
+        prop_assert_eq!(d.find_directed_triangle_cycle(), None);
+        for (u, v) in g.edges() {
+            prop_assert!(d.has_edge(u, v) ^ d.has_edge(v, u));
+        }
+    }
+
+    /// Every ordering scheme produces a bijection that preserves the
+    /// degree multiset.
+    #[test]
+    fn orderings_are_structure_preserving(
+        n in 3usize..60,
+        m in 2usize..150,
+        seed in 0u64..10_000,
+        ord_idx in 0usize..7,
+    ) {
+        let g = erdos_renyi(n.max(3), m, seed);
+        let params = ModelParams::default_analytic();
+        let directed = DirectionScheme::DegreeBased.orient(&g);
+        let out_degrees = directed.out_degrees();
+        let ctx = OrderingContext { out_degrees: &out_degrees, params: &params, bucket_size: 8 };
+        let scheme = OrderingScheme::all()[ord_idx];
+        let p = scheme.permutation(&g, &ctx);
+        let h = p.apply(&g);
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        let mut dg: Vec<usize> = g.vertices().map(|u| g.degree(u)).collect();
+        let mut dh: Vec<usize> = h.vertices().map(|u| h.degree(u)).collect();
+        dg.sort_unstable();
+        dh.sort_unstable();
+        prop_assert_eq!(dg, dh);
+    }
+
+    /// The measured A-direction cost never exceeds the Theorem 4.2
+    /// bound times the lower bound on the optimum.
+    #[test]
+    fn ratio_bound_is_sound(seed in 0u64..200) {
+        let g = power_law_configuration(300, 2.2, 6.0, seed);
+        if let Some(b) = approximation_ratio_bound(&g) {
+            let alg = direction_cost(&DirectionScheme::ADirection.orient(&g));
+            prop_assert!(alg <= b.rho * b.lb_opt + 1e-6,
+                "alg {} vs rho*lb {}", alg, b.rho * b.lb_opt);
+        }
+    }
+}
+
+#[test]
+fn a_direction_cost_dominates_on_skewed_corpus() {
+    // Across all skewed stand-ins, A-direction's Equation-1 cost must not
+    // exceed D-direction's (the analytic model's core promise).
+    for dataset in [
+        gpu_tc::datasets::Dataset::EmailEuall,
+        gpu_tc::datasets::Dataset::Gowalla,
+        gpu_tc::datasets::Dataset::CitPatent,
+        gpu_tc::datasets::Dataset::KronLogn18,
+    ] {
+        let g = gpu_tc::datasets::load(dataset);
+        let a = direction_cost(&DirectionScheme::ADirection.orient(&g));
+        let d = direction_cost(&DirectionScheme::DegreeBased.orient(&g));
+        assert!(a <= d * 1.001, "{}: A {a} vs D {d}", dataset.name());
+    }
+}
+
+#[test]
+fn a_order_minimizes_equation_3_on_corpus() {
+    let params = ModelParams::default_analytic();
+    for dataset in [
+        gpu_tc::datasets::Dataset::EmailEucore,
+        gpu_tc::datasets::Dataset::KronLogn18,
+    ] {
+        let g = gpu_tc::datasets::load(dataset);
+        let directed = DirectionScheme::DegreeBased.orient(&g);
+        let out_degrees = directed.out_degrees();
+        let k = 64;
+        let ctx = OrderingContext { out_degrees: &out_degrees, params: &params, bucket_size: k };
+
+        let cost_of = |scheme: OrderingScheme| {
+            let p = scheme.permutation(&g, &ctx);
+            let mut reordered = vec![0usize; out_degrees.len()];
+            for (old, &d) in out_degrees.iter().enumerate() {
+                reordered[p.map(old as u32) as usize] = d;
+            }
+            ordering_cost(&reordered, &params, k)
+        };
+        let a = cost_of(OrderingScheme::AOrder);
+        let orig = cost_of(OrderingScheme::Original);
+        let d_ord = cost_of(OrderingScheme::DegreeOrder);
+        assert!(a <= orig, "{}: A-order {a} vs original {orig}", dataset.name());
+        assert!(a <= d_ord, "{}: A-order {a} vs D-order {d_ord}", dataset.name());
+    }
+}

@@ -1,0 +1,99 @@
+//! System-level properties of the GPU simulator: determinism, sane
+//! scaling with hardware resources, and conservation of functional
+//! results across configurations.
+
+use gpu_tc::algos::{hu::HuFineGrained, tricore::TriCore, GpuTriangleCounter};
+use gpu_tc::core::DirectionScheme;
+use gpu_tc::datasets::Dataset;
+use gpu_tc::gpusim::GpuConfig;
+use gpu_tc::graph::generators::power_law_configuration;
+
+#[test]
+fn simulation_is_bit_for_bit_deterministic() {
+    let g = gpu_tc::datasets::load(Dataset::EmailEucore);
+    let d = DirectionScheme::DegreeBased.orient(&g);
+    let gpu = GpuConfig::titan_xp_like();
+    for algo in gpu_tc::algos::all_gpu_algorithms() {
+        let a = algo.count(&d, &gpu);
+        let b = algo.count(&d, &gpu);
+        assert_eq!(a, b, "{}", algo.name());
+    }
+}
+
+#[test]
+fn more_sms_never_slow_a_kernel_down_much() {
+    let g = power_law_configuration(800, 2.2, 8.0, 3);
+    let d = DirectionScheme::DegreeBased.orient(&g);
+    let algo = TriCore::default();
+    let mut prev = u64::MAX;
+    for sms in [1usize, 2, 4, 8, 16] {
+        let mut gpu = GpuConfig::titan_xp_like();
+        gpu.num_sms = sms;
+        let cycles = algo.count(&d, &gpu).metrics.kernel_cycles;
+        // Allow a small scheduling wobble but require overall scaling.
+        assert!(
+            (cycles as f64) < 1.05 * prev as f64,
+            "{sms} SMs: {cycles} vs previous {prev}"
+        );
+        prev = cycles;
+    }
+}
+
+#[test]
+fn faster_memory_never_hurts() {
+    let g = power_law_configuration(600, 2.1, 8.0, 9);
+    let d = DirectionScheme::DegreeBased.orient(&g);
+    let algo = HuFineGrained::default();
+    let mut prev = u64::MAX;
+    for bw in [0.125, 0.25, 0.5, 1.0, 2.0] {
+        let mut gpu = GpuConfig::titan_xp_like();
+        gpu.global_bw = bw;
+        gpu.shared_bw = bw * 8.0;
+        let cycles = algo.count(&d, &gpu).metrics.kernel_cycles;
+        assert!(
+            cycles <= prev,
+            "bw {bw}: {cycles} cycles vs previous {prev}"
+        );
+        prev = cycles;
+    }
+}
+
+#[test]
+fn counts_are_invariant_to_hardware() {
+    let g = power_law_configuration(500, 2.2, 7.0, 21);
+    let d = DirectionScheme::ADirection.orient(&g);
+    let configs = [
+        GpuConfig::tiny(),
+        GpuConfig::titan_xp_like(),
+        {
+            let mut c = GpuConfig::titan_xp_like();
+            c.num_sms = 7;
+            c.warps_per_block = 3;
+            c.global_latency = 37;
+            c
+        },
+    ];
+    let mut counts = Vec::new();
+    for gpu in &configs {
+        counts.push(HuFineGrained::default().count(&d, gpu).triangles);
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
+
+#[test]
+fn metrics_are_internally_consistent() {
+    let g = gpu_tc::datasets::load(Dataset::EmailEucore);
+    let d = DirectionScheme::DegreeBased.orient(&g);
+    let gpu = GpuConfig::titan_xp_like();
+    let m = HuFineGrained::default().count(&d, &gpu).metrics;
+    assert!(m.kernel_cycles > 0);
+    assert!(m.blocks > 0);
+    assert!(m.warps > 0);
+    // Busy time on any single server cannot exceed SMs × makespan.
+    let budget = (gpu.num_sms as u64) * m.kernel_cycles;
+    assert!(m.compute_busy_cycles <= budget);
+    assert!(m.global_busy_cycles <= budget);
+    assert!(m.shared_busy_cycles <= budget);
+    // Barrier arrivals come in whole blocks of participants.
+    assert!(m.barrier_arrivals > 0);
+}
