@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this minimal harness
+//! implements the API subset `tc-bench`'s benches use — groups,
+//! `bench_function`, `BenchmarkId`, `Throughput`, `iter` — with plain
+//! wall-clock timing: a short warm-up, then `sample_size` samples, with
+//! mean/min reported on stdout. No statistics, plots, or baselines; the
+//! numbers are indicative, which is all the simulated-GPU benches need.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// Throughput annotation (accepted, echoed in the report line).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benches a standalone function (no group).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark: warm-up, then `sample_size` timed samples.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        // Warm-up (not recorded).
+        f(&mut bencher);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters = 0;
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                samples.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+            }
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let label = if self.name.is_empty() {
+            id.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.name)
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:.1} Melem/s", n as f64 / mean / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:.1} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {label:<55} mean {:>12}  min {:>12}{rate}",
+            format_time(mean),
+            format_time(min),
+        );
+        self
+    }
+
+    /// Closes the group (report already emitted per-bench).
+    pub fn finish(self) {}
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Timer handle passed to the closure of `bench_function`.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `inner` over a fixed batch of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut inner: F) {
+        const BATCH: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            std::hint::black_box(inner());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Declares the benchmark group entry points (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        group.bench_function(BenchmarkId::from_parameter("noop"), |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran += 1;
+        });
+        group.finish();
+        assert!(ran >= 3, "warmup + samples");
+    }
+}

@@ -28,7 +28,10 @@ pub struct ApproxCount {
 /// # Panics
 /// Panics unless `0 < p <= 1`.
 pub fn doulion(g: &CsrGraph, p: f64, seed: u64) -> ApproxCount {
-    assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0, 1]");
+    assert!(
+        p > 0.0 && p <= 1.0,
+        "sampling probability must be in (0, 1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(g.num_vertices());
     for (u, v) in g.edges() {

@@ -8,7 +8,7 @@
 //! which is exactly the imbalance A-direction attacks (Figure 13).
 
 use crate::{run_kernel, GpuTriangleCounter, KernelGen, RunResult};
-use std::cell::RefCell;
+use std::sync::Mutex;
 use tc_gpusim::coalesce::bank_transactions;
 use tc_gpusim::ops::WarpOp;
 use tc_gpusim::trace::{BlockTrace, WarpTrace};
@@ -26,12 +26,51 @@ fn bitmap_word(w: VertexId) -> u64 {
     w as u64 / 32
 }
 
+/// One checked-out stamp bitmap: `stamp[v] == generation` means the bit is
+/// set. Bumping the generation replaces an O(n) clear per block.
+struct StampBuffer {
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+/// Pool of stamp bitmaps, one per concurrent `gen_block` call.
+///
+/// Pipeline workers generate different blocks of the same kernel at the
+/// same time, so per-call scratch can't live in a single shared buffer.
+/// Each worker checks a buffer out for the duration of one block and
+/// returns it afterwards; the pool grows to the number of concurrent
+/// workers (a handful) and each buffer is reused for thousands of blocks,
+/// so the O(n) zero-fill happens once per worker, not once per block.
+pub(crate) struct StampPool {
+    vertices: usize,
+    free: Mutex<Vec<StampBuffer>>,
+}
+
+impl StampPool {
+    fn new(vertices: usize) -> Self {
+        Self {
+            vertices,
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn check_out(&self) -> StampBuffer {
+        let pooled = self.free.lock().expect("stamp pool poisoned").pop();
+        pooled.unwrap_or_else(|| StampBuffer {
+            stamp: vec![0; self.vertices],
+            generation: 0,
+        })
+    }
+
+    fn check_in(&self, buf: StampBuffer) {
+        self.free.lock().expect("stamp pool poisoned").push(buf);
+    }
+}
+
 pub(crate) struct BissonKernel<'a> {
     g: &'a DirectedGraph,
     warps_per_block: usize,
-    /// Stamp-based bitmap: `stamp[v] == generation` means the bit is set.
-    /// Avoids an O(n) clear per block.
-    stamp: RefCell<(Vec<u32>, u32)>,
+    stamps: StampPool,
 }
 
 impl<'a> BissonKernel<'a> {
@@ -39,7 +78,7 @@ impl<'a> BissonKernel<'a> {
         Self {
             g,
             warps_per_block: gpu.warps_per_block,
-            stamp: RefCell::new((vec![0; g.num_vertices()], 0)),
+            stamps: StampPool::new(g.num_vertices()),
         }
     }
 }
@@ -58,11 +97,16 @@ impl KernelGen for BissonKernel<'_> {
             return (BlockTrace::new(vec![WarpTrace::empty(); wpb]), 0);
         }
 
-        // Mark N+(u) in the stamped bitmap.
-        let mut guard = self.stamp.borrow_mut();
-        let (stamp, generation) = &mut *guard;
-        *generation += 1;
-        let generation = *generation;
+        // Mark N+(u) in a checked-out stamped bitmap.
+        let mut buf = self.stamps.check_out();
+        buf.generation = buf.generation.wrapping_add(1);
+        if buf.generation == 0 {
+            // Wrapped: stale stamps could collide with generation 0.
+            buf.stamp.fill(0);
+            buf.generation = 1;
+        }
+        let generation = buf.generation;
+        let stamp = &mut buf.stamp;
         for &v in nbrs {
             stamp[v as usize] = generation;
         }
@@ -80,7 +124,10 @@ impl KernelGen for BissonKernel<'_> {
             // Representative bit-set access for this warp's first chunk of
             // neighbours (later chunks repeat the same pattern cost).
             let write = bank_transactions(
-                nbrs.iter().skip(w_idx * 32).take(32).map(|&v| bitmap_word(v)),
+                nbrs.iter()
+                    .skip(w_idx * 32)
+                    .take(32)
+                    .map(|&v| bitmap_word(v)),
             );
             ops.push(WarpOp::SharedAccess {
                 transactions: write.transactions.max(1),
@@ -127,6 +174,7 @@ impl KernelGen for BissonKernel<'_> {
             }
         }
 
+        self.stamps.check_in(buf);
         let warps = warp_ops.into_iter().map(WarpTrace::new).collect();
         (BlockTrace::new(warps), count)
     }
@@ -157,8 +205,8 @@ mod tests {
 
     #[test]
     fn counts_k4() {
-        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .build();
+        let g =
+            GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).build();
         let r = Bisson::default().count(&orient(&g), &GpuConfig::tiny());
         assert_eq!(r.triangles, 4);
     }

@@ -105,11 +105,11 @@ pub fn parallel_count(g: &DirectedGraph, num_threads: usize) -> u64 {
     }
     let chunk = n.div_ceil(num_threads);
     let mut partials = vec![0u64; num_threads];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, out) in partials.iter_mut().enumerate() {
             let start = (t * chunk).min(n);
             let end = ((t + 1) * chunk).min(n);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut local = 0u64;
                 for u in start as u32..end as u32 {
                     for &v in g.out_neighbors(u) {
@@ -119,8 +119,7 @@ pub fn parallel_count(g: &DirectedGraph, num_threads: usize) -> u64 {
                 *out = local;
             });
         }
-    })
-    .expect("worker panicked");
+    });
     partials.iter().sum()
 }
 

@@ -88,8 +88,8 @@ impl GpuTriangleCounter for Fox {
         };
         // Lean kernel: high occupancy, like TriCore.
         let gpu = gpu.with_blocks_per_sm(gpu.blocks_per_sm.max(6));
-        let kernel = TriCoreKernel::new(g, &gpu, self.edges_per_warp, self.costs)
-            .with_edge_order(order);
+        let kernel =
+            TriCoreKernel::new(g, &gpu, self.edges_per_warp, self.costs).with_edge_order(order);
         run_kernel(&kernel, &gpu)
     }
 }
@@ -108,8 +108,8 @@ mod tests {
 
     #[test]
     fn counts_k4() {
-        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .build();
+        let g =
+            GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).build();
         let r = Fox::default().count(&orient(&g), &GpuConfig::tiny());
         assert_eq!(r.triangles, 4);
     }
@@ -136,10 +136,7 @@ mod tests {
         let expect = cpu::directed_count(&d);
         // Reverse order is a valid permutation.
         let rev: Vec<u32> = (0..d.num_edges() as u32).rev().collect();
-        assert_eq!(
-            Fox::with_edge_order(rev).count(&d, &gpu).triangles,
-            expect
-        );
+        assert_eq!(Fox::with_edge_order(rev).count(&d, &gpu).triangles, expect);
     }
 
     #[test]

@@ -232,8 +232,8 @@ mod tests {
 
     #[test]
     fn both_variants_count_k4() {
-        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .build();
+        let g =
+            GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).build();
         let d = orient(&g);
         let gpu = GpuConfig::tiny();
         assert_eq!(Gunrock::binary_search().count(&d, &gpu).triangles, 4);

@@ -141,45 +141,45 @@ impl KernelGen for HuKernel<'_> {
             // the imbalance that A-direction's flattened out-degrees
             // remove.
             for batch in 0..self.batches_per_superstep {
-            let window = &superstep[(batch * 32 * wpb).min(superstep.len())
-                ..((batch + 1) * 32 * wpb).min(superstep.len())];
-            if window.is_empty() {
-                break;
-            }
-            for (w_idx, ops) in warp_ops.iter_mut().enumerate() {
-                let lane_wedges: Vec<&Wedge> = (0..32)
-                    .filter_map(|l| window.get(l * wpb + w_idx))
-                    .collect();
-                if lane_wedges.is_empty() {
-                    continue;
+                let window = &superstep[(batch * 32 * wpb).min(superstep.len())
+                    ..((batch + 1) * 32 * wpb).min(superstep.len())];
+                if window.is_empty() {
+                    break;
                 }
-                // Stream the 32 keys (w values) from global memory. The
-                // strided thread assignment interleaves lanes across the
-                // same v-lists, so consecutive warps re-touch the same
-                // 128-byte segments; L1 turns the aggregate into a nearly
-                // streaming access, which the cap models (total unique key
-                // words across the kernel ≈ one word per wedge).
-                ops.push(WarpOp::GlobalAccess {
-                    segments: segments_for_addresses(lane_wedges.iter().map(|w| w.key_addr))
-                        .min(4),
-                });
-                let lanes: Vec<LaneSearch<'_>> = lane_wedges
-                    .iter()
-                    .map(|w| {
-                        let base = stage_base
-                            .iter()
-                            .find(|&&(u, _)| u == w.u)
-                            .map(|&(_, b)| b)
-                            .expect("staged");
-                        LaneSearch {
-                            list: self.g.out_neighbors(w.u),
-                            base,
-                            key: w.key,
-                        }
-                    })
-                    .collect();
-                count += lockstep_multi_search(&lanes, &self.costs, ops);
-            }
+                for (w_idx, ops) in warp_ops.iter_mut().enumerate() {
+                    let lane_wedges: Vec<&Wedge> = (0..32)
+                        .filter_map(|l| window.get(l * wpb + w_idx))
+                        .collect();
+                    if lane_wedges.is_empty() {
+                        continue;
+                    }
+                    // Stream the 32 keys (w values) from global memory. The
+                    // strided thread assignment interleaves lanes across the
+                    // same v-lists, so consecutive warps re-touch the same
+                    // 128-byte segments; L1 turns the aggregate into a nearly
+                    // streaming access, which the cap models (total unique key
+                    // words across the kernel ≈ one word per wedge).
+                    ops.push(WarpOp::GlobalAccess {
+                        segments: segments_for_addresses(lane_wedges.iter().map(|w| w.key_addr))
+                            .min(4),
+                    });
+                    let lanes: Vec<LaneSearch<'_>> = lane_wedges
+                        .iter()
+                        .map(|w| {
+                            let base = stage_base
+                                .iter()
+                                .find(|&&(u, _)| u == w.u)
+                                .map(|&(_, b)| b)
+                                .expect("staged");
+                            LaneSearch {
+                                list: self.g.out_neighbors(w.u),
+                                base,
+                                key: w.key,
+                            }
+                        })
+                        .collect();
+                    count += lockstep_multi_search(&lanes, &self.costs, ops);
+                }
             }
 
             // -- End-of-superstep barrier before the shared buffer is reused.
@@ -243,8 +243,8 @@ mod tests {
 
     #[test]
     fn counts_k4() {
-        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .build();
+        let g =
+            GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).build();
         let r = HuFineGrained::default().count(&orient(&g), &GpuConfig::tiny());
         assert_eq!(r.triangles, 4);
     }
@@ -305,6 +305,9 @@ mod tests {
         let d = orient(&g);
         let r = HuFineGrained::default().count(&d, &GpuConfig::titan_xp_like());
         assert!(r.metrics.barrier_arrivals > 0, "BSP supersteps must sync");
-        assert!(r.metrics.shared_transactions > 0, "searches hit shared memory");
+        assert!(
+            r.metrics.shared_transactions > 0,
+            "searches hit shared memory"
+        );
     }
 }

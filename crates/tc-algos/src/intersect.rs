@@ -160,10 +160,26 @@ mod tests {
         let l1: Vec<u32> = vec![1, 4, 9, 16, 25];
         let l2: Vec<u32> = vec![2, 3, 5, 7];
         let lanes = [
-            LaneSearch { list: &l1, base: 0, key: 9 },   // hit
-            LaneSearch { list: &l2, base: 100, key: 6 }, // miss
-            LaneSearch { list: &l1, base: 0, key: 25 },  // hit
-            LaneSearch { list: &l2, base: 100, key: 2 }, // hit
+            LaneSearch {
+                list: &l1,
+                base: 0,
+                key: 9,
+            }, // hit
+            LaneSearch {
+                list: &l2,
+                base: 100,
+                key: 6,
+            }, // miss
+            LaneSearch {
+                list: &l1,
+                base: 0,
+                key: 25,
+            }, // hit
+            LaneSearch {
+                list: &l2,
+                base: 100,
+                key: 2,
+            }, // hit
         ];
         let mut ops = Vec::new();
         let found = lockstep_multi_search(&lanes, &SearchCosts::default(), &mut ops);
@@ -176,8 +192,16 @@ mod tests {
         let long: Vec<u32> = (0..1024).map(|i| i * 2 + 1).collect(); // all misses
         let short: Vec<u32> = vec![1];
         let lanes = [
-            LaneSearch { list: &short, base: 0, key: 0 },
-            LaneSearch { list: &long, base: 16, key: 4 },
+            LaneSearch {
+                list: &short,
+                base: 0,
+                key: 0,
+            },
+            LaneSearch {
+                list: &long,
+                base: 16,
+                key: 4,
+            },
         ];
         let mut ops = Vec::new();
         lockstep_multi_search(&lanes, &SearchCosts::default(), &mut ops);
@@ -191,9 +215,16 @@ mod tests {
     #[test]
     fn multi_search_empty_lists_and_lanes() {
         let mut ops = Vec::new();
-        assert_eq!(lockstep_multi_search(&[], &SearchCosts::default(), &mut ops), 0);
+        assert_eq!(
+            lockstep_multi_search(&[], &SearchCosts::default(), &mut ops),
+            0
+        );
         assert!(ops.is_empty());
-        let lanes = [LaneSearch { list: &[], base: 0, key: 1 }];
+        let lanes = [LaneSearch {
+            list: &[],
+            base: 0,
+            key: 1,
+        }];
         assert_eq!(
             lockstep_multi_search(&lanes, &SearchCosts::default(), &mut ops),
             0

@@ -28,11 +28,13 @@ pub mod gunrock;
 pub mod hu;
 pub mod intersect;
 pub mod polak;
-pub mod tricore;
 mod trace_util;
+pub mod tricore;
 
-use std::cell::RefCell;
-use tc_gpusim::{simulate, BlockSource, BlockTrace, GpuConfig, KernelMetrics};
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tc_gpusim::pipeline::{configured_threads, simulate_pipelined, simulate_pipelined_with_events};
+use tc_gpusim::{BlockSource, BlockTrace, GpuConfig, KernelMetrics};
 use tc_graph::DirectedGraph;
 
 /// Result of one simulated GPU triangle-counting run.
@@ -52,7 +54,10 @@ impl RunResult {
 }
 
 /// A GPU triangle-counting algorithm.
-pub trait GpuTriangleCounter {
+///
+/// `Sync` because experiment grids evaluate (dataset, algorithm) cells on
+/// worker threads sharing the algorithm handles.
+pub trait GpuTriangleCounter: Sync {
     /// Short display name used in experiment tables.
     fn name(&self) -> &'static str;
 
@@ -65,7 +70,16 @@ pub trait GpuTriangleCounter {
 /// Implementors return, for each block index, the block's trace *and* the
 /// number of triangles that block finds. [`run_kernel`] wires this into the
 /// simulator and totals the counts.
-pub trait KernelGen {
+///
+/// Generators must be [`Sync`]: [`run_kernel`] feeds them to the parallel
+/// trace-generation pipeline, whose workers call [`gen_block`] for
+/// different indices concurrently. Each call must depend only on `self`
+/// and `idx` (the determinism the [`BlockSource`] contract already
+/// requires); per-call scratch state belongs in a pool, not in shared
+/// interior mutability (see `bisson::StampPool` for the pattern).
+///
+/// [`gen_block`]: KernelGen::gen_block
+pub trait KernelGen: Sync {
     /// Number of blocks in the grid.
     fn num_blocks(&self) -> usize;
 
@@ -74,11 +88,27 @@ pub trait KernelGen {
     fn gen_block(&self, idx: usize) -> (BlockTrace, u64);
 }
 
-/// Adapter: runs a [`KernelGen`] through the simulator, accumulating the
-/// per-block triangle counts exactly once per block.
+/// Adapter: runs a [`KernelGen`] through the simulator, recording each
+/// block's triangle count as its trace is generated.
+///
+/// Counts are *stored* per block index (not summed on the fly), so the
+/// total stays exact even if a block is ever regenerated, and the store is
+/// atomic so pipeline workers can generate blocks concurrently — the
+/// per-worker partial results meet only in the final reduction.
 struct CountingSource<'a, K: KernelGen + ?Sized> {
     gen: &'a K,
-    counts: RefCell<Vec<Option<u64>>>,
+    counts: Vec<AtomicU64>,
+}
+
+impl<'a, K: KernelGen + ?Sized> CountingSource<'a, K> {
+    fn new(gen: &'a K) -> Self {
+        let counts = (0..gen.num_blocks()).map(|_| AtomicU64::new(0)).collect();
+        Self { gen, counts }
+    }
+
+    fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
 }
 
 impl<K: KernelGen + ?Sized> BlockSource for CountingSource<'_, K> {
@@ -86,27 +116,26 @@ impl<K: KernelGen + ?Sized> BlockSource for CountingSource<'_, K> {
         self.gen.num_blocks()
     }
 
-    fn block(&self, idx: usize) -> BlockTrace {
+    fn block(&self, idx: usize) -> Cow<'_, BlockTrace> {
         let (trace, count) = self.gen.gen_block(idx);
-        self.counts.borrow_mut()[idx] = Some(count);
-        trace
+        self.counts[idx].store(count, Ordering::Relaxed);
+        Cow::Owned(trace)
     }
 }
 
 /// Simulates a [`KernelGen`] and returns its total count plus metrics.
+///
+/// Trace generation runs on the parallel prefetch pipeline
+/// ([`tc_gpusim::pipeline`]) with the configured worker count
+/// (`TC_PIPELINE_THREADS` / all cores); metrics and counts are bit-for-bit
+/// identical at every thread count.
 pub fn run_kernel<K: KernelGen + ?Sized>(gen: &K, gpu: &GpuConfig) -> RunResult {
-    let source = CountingSource {
-        gen,
-        counts: RefCell::new(vec![None; gen.num_blocks()]),
-    };
-    let metrics = simulate(gpu, &source);
-    let triangles = source
-        .counts
-        .borrow()
-        .iter()
-        .map(|c| c.expect("engine visits every block exactly once"))
-        .sum();
-    RunResult { triangles, metrics }
+    let source = CountingSource::new(gen);
+    let metrics = simulate_pipelined(gpu, &source, configured_threads());
+    RunResult {
+        triangles: source.total(),
+        metrics,
+    }
 }
 
 /// Like [`run_kernel`] but also returns the per-block schedule events for
@@ -115,18 +144,15 @@ pub fn run_kernel_with_events<K: KernelGen + ?Sized>(
     gen: &K,
     gpu: &GpuConfig,
 ) -> (RunResult, Vec<tc_gpusim::BlockEvent>) {
-    let source = CountingSource {
-        gen,
-        counts: RefCell::new(vec![None; gen.num_blocks()]),
-    };
-    let (metrics, events) = tc_gpusim::simulate_with_events(gpu, &source);
-    let triangles = source
-        .counts
-        .borrow()
-        .iter()
-        .map(|c| c.expect("engine visits every block exactly once"))
-        .sum();
-    (RunResult { triangles, metrics }, events)
+    let source = CountingSource::new(gen);
+    let (metrics, events) = simulate_pipelined_with_events(gpu, &source, configured_threads());
+    (
+        RunResult {
+            triangles: source.total(),
+            metrics,
+        },
+        events,
+    )
 }
 
 /// Convenience: all five paper algorithms with default settings, for

@@ -107,8 +107,8 @@ mod tests {
 
     #[test]
     fn counts_k4() {
-        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .build();
+        let g =
+            GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).build();
         let r = Polak::default().count(&orient(&g), &GpuConfig::tiny());
         assert_eq!(r.triangles, 4);
     }
@@ -128,7 +128,9 @@ mod tests {
         let g = power_law_configuration(300, 2.2, 7.0, 9);
         let d = orient(&g);
         assert_eq!(
-            Polak::default().count(&d, &GpuConfig::titan_xp_like()).triangles,
+            Polak::default()
+                .count(&d, &GpuConfig::titan_xp_like())
+                .triangles,
             cpu::directed_count(&d)
         );
     }

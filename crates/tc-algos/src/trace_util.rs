@@ -84,7 +84,14 @@ mod tests {
 
     #[test]
     fn emit_mixed_preserves_totals() {
-        for (s, c) in [(0u64, 0u64), (1, 0), (0, 1), (5000, 3), (3, 5000), (12345, 6789)] {
+        for (s, c) in [
+            (0u64, 0u64),
+            (1, 0),
+            (0, 1),
+            (5000, 3),
+            (3, 5000),
+            (12345, 6789),
+        ] {
             let mut ops = Vec::new();
             emit_mixed(&mut ops, s, c);
             assert_eq!(totals(&ops), (s, c), "segments={s} cycles={c}");

@@ -72,7 +72,12 @@ pub(crate) struct TriCoreKernel<'a> {
 }
 
 impl<'a> TriCoreKernel<'a> {
-    pub(crate) fn new(g: &'a DirectedGraph, gpu: &GpuConfig, edges_per_warp: usize, costs: SearchCosts) -> Self {
+    pub(crate) fn new(
+        g: &'a DirectedGraph,
+        gpu: &GpuConfig,
+        edges_per_warp: usize,
+        costs: SearchCosts,
+    ) -> Self {
         let mut edge_src = Vec::with_capacity(g.num_edges());
         for u in g.vertices() {
             edge_src.extend(std::iter::repeat_n(u, g.out_degree(u)));
@@ -99,7 +104,11 @@ impl<'a> TriCoreKernel<'a> {
     /// # Panics
     /// Panics if `order` is not a permutation of `0..num_edges`.
     pub(crate) fn with_edge_order(mut self, order: Vec<u32>) -> Self {
-        assert_eq!(order.len(), self.g.num_edges(), "order must cover all edges");
+        assert_eq!(
+            order.len(),
+            self.g.num_edges(),
+            "order must cover all edges"
+        );
         let mut seen = vec![false; order.len()];
         for &e in &order {
             assert!(
@@ -263,8 +272,8 @@ mod tests {
 
     #[test]
     fn counts_k4() {
-        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .build();
+        let g =
+            GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).build();
         let d = orient(&g);
         let r = TriCore::default().count(&d, &GpuConfig::tiny());
         assert_eq!(r.triangles, 4);

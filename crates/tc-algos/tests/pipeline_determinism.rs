@@ -1,0 +1,46 @@
+//! The parallel trace-generation pipeline must be invisible in results:
+//! every algorithm produces identical metrics *and* triangle counts at
+//! every worker-thread count.
+//!
+//! Single `#[test]` on purpose: `set_thread_override` is process-global,
+//! and tests within one binary run concurrently.
+
+use tc_gpusim::pipeline::set_thread_override;
+use tc_gpusim::GpuConfig;
+use tc_graph::generators::power_law_configuration;
+use tc_graph::orient_by_rank;
+
+#[test]
+fn every_algorithm_is_thread_count_invariant() {
+    let g = power_law_configuration(600, 2.2, 9.0, 5);
+    // Degree-based orientation (low degree → high degree, ties by id).
+    let rank: Vec<u64> = g
+        .vertices()
+        .map(|u| ((g.degree(u) as u64) << 32) | u as u64)
+        .collect();
+    let directed = &orient_by_rank(&g, &rank);
+    let gpu = GpuConfig::titan_xp_like();
+
+    for algo in tc_algos::all_gpu_algorithms() {
+        set_thread_override(Some(1));
+        let serial = algo.count(directed, &gpu);
+        assert!(serial.triangles > 0, "{}: degenerate fixture", algo.name());
+        for threads in [2usize, 8] {
+            set_thread_override(Some(threads));
+            let parallel = algo.count(directed, &gpu);
+            assert_eq!(
+                parallel.metrics,
+                serial.metrics,
+                "{}: metrics diverge at {threads} threads",
+                algo.name()
+            );
+            assert_eq!(
+                parallel.triangles,
+                serial.triangles,
+                "{}: triangle count diverges at {threads} threads",
+                algo.name()
+            );
+        }
+    }
+    set_thread_override(None);
+}

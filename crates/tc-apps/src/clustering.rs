@@ -46,9 +46,11 @@ mod tests {
 
     #[test]
     fn complete_graph_is_fully_clustered() {
-        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .build();
-        assert!(clustering_coefficients(&g).iter().all(|&c| (c - 1.0).abs() < 1e-12));
+        let g =
+            GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).build();
+        assert!(clustering_coefficients(&g)
+            .iter()
+            .all(|&c| (c - 1.0).abs() < 1e-12));
         assert!((global_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
     }
 

@@ -14,11 +14,8 @@ use tc_graph::{CsrGraph, VertexId};
 pub fn ktruss_decomposition(g: &CsrGraph) -> HashMap<(VertexId, VertexId), u32> {
     let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
     let m = edges.len();
-    let index_of: HashMap<(VertexId, VertexId), usize> = edges
-        .iter()
-        .enumerate()
-        .map(|(i, &e)| (e, i))
-        .collect();
+    let index_of: HashMap<(VertexId, VertexId), usize> =
+        edges.iter().enumerate().map(|(i, &e)| (e, i)).collect();
     let edge_key = |a: VertexId, b: VertexId| if a < b { (a, b) } else { (b, a) };
 
     // Initial supports.
@@ -60,7 +57,11 @@ pub fn ktruss_decomposition(g: &CsrGraph) -> HashMap<(VertexId, VertexId), u32> 
         // Every triangle through e loses this edge: decrement the other
         // two edges' supports.
         let (u, v) = edges[e];
-        let (short, long) = if g.degree(u) <= g.degree(v) { (u, v) } else { (v, u) };
+        let (short, long) = if g.degree(u) <= g.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         for &w in g.neighbors(short) {
             if w == long || !g.has_edge(long, w) {
                 continue;
@@ -90,11 +91,7 @@ pub fn ktruss_decomposition(g: &CsrGraph) -> HashMap<(VertexId, VertexId), u32> 
 
 /// The maximum trussness over all edges (0 for edgeless graphs).
 pub fn max_truss(g: &CsrGraph) -> u32 {
-    ktruss_decomposition(g)
-        .values()
-        .copied()
-        .max()
-        .unwrap_or(0)
+    ktruss_decomposition(g).values().copied().max().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -105,8 +102,8 @@ mod tests {
 
     #[test]
     fn k4_is_a_4_truss() {
-        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .build();
+        let g =
+            GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).build();
         let t = ktruss_decomposition(&g);
         assert!(t.values().all(|&k| k == 4), "{t:?}");
         assert_eq!(max_truss(&g), 4);

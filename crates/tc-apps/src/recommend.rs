@@ -58,7 +58,11 @@ pub fn recommend_for(g: &CsrGraph, source: VertexId, k: usize) -> Vec<RecommendS
             RecommendScore {
                 candidate: c,
                 common_neighbors: common,
-                jaccard: if union > 0 { common as f64 / union as f64 } else { 0.0 },
+                jaccard: if union > 0 {
+                    common as f64 / union as f64
+                } else {
+                    0.0
+                },
                 adamic_adar,
             }
         })
@@ -122,7 +126,16 @@ mod tests {
         // many two-hop candidates for leaf 1.
         let g = GraphBuilder::from_edges(
             7,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (2, 3), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (2, 3),
+                (4, 5),
+            ],
         )
         .build();
         let recs = recommend_for(&g, 1, 2);
@@ -132,7 +145,10 @@ mod tests {
     #[test]
     fn scores_are_ordered() {
         let g = tc_graph::generators::power_law_configuration(300, 2.2, 8.0, 4);
-        let hub = g.vertices().max_by_key(|&v| g.degree(v)).expect("non-empty");
+        let hub = g
+            .vertices()
+            .max_by_key(|&v| g.degree(v))
+            .expect("non-empty");
         let recs = recommend_for(&g, hub, 10);
         for w in recs.windows(2) {
             assert!(w[0].common_neighbors >= w[1].common_neighbors);

@@ -83,10 +83,7 @@ mod tests {
     fn per_vertex_counts_sum_to_three_times_triangles() {
         let g = power_law_configuration(300, 2.2, 7.0, 5);
         let per_vertex = triangles_per_vertex(&g);
-        assert_eq!(
-            per_vertex.iter().sum::<u64>(),
-            3 * cpu::node_iterator(&g)
-        );
+        assert_eq!(per_vertex.iter().sum::<u64>(), 3 * cpu::node_iterator(&g));
     }
 
     #[test]

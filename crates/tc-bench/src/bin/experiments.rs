@@ -5,11 +5,19 @@
 //! ```
 //!
 //! `<id>` ∈ {table2, table3, table5, table6, fig7, fig8, fig9, fig10,
-//! fig11, fig12, fig13, fig14, fig15, fig16, all}. `--small` substitutes
-//! the small dataset suite for a quick smoke run.
+//! fig11, fig12, fig13, fig14, fig15, fig16, ablation, algorithms,
+//! bench-pipeline, all}. `--small` substitutes the small dataset suite
+//! for a quick smoke run.
+//!
+//! Experiment grids and trace generation run on all cores by default;
+//! set `TC_PIPELINE_THREADS=1` for a fully serial harness. Each
+//! experiment's end-to-end wall-clock is reported on stderr.
+//! `bench-pipeline` measures the serial-vs-parallel harness speedup and
+//! writes `BENCH_pipeline.json`.
 
+use std::time::Instant;
 use tc_bench::experiments::*;
-use tc_bench::ExperimentEnv;
+use tc_bench::{pipeline_bench, ExperimentEnv};
 use tc_datasets::Dataset;
 
 struct Cli {
@@ -36,13 +44,14 @@ impl Cli {
                 println!("{}", table3::render(&table3::run(&self.env)));
             }
             "table5" => {
-                let rows =
-                    table5_6::run_table5(&self.env, &self.suite_or(Dataset::table5_suite()));
-                println!("{}", table5_6::render("Table 5", "Hu's fine-grained implementation", &rows));
+                let rows = table5_6::run_table5(&self.env, &self.suite_or(Dataset::table5_suite()));
+                println!(
+                    "{}",
+                    table5_6::render("Table 5", "Hu's fine-grained implementation", &rows)
+                );
             }
             "table6" => {
-                let rows =
-                    table5_6::run_table6(&self.env, &self.suite_or(Dataset::table5_suite()));
+                let rows = table5_6::run_table6(&self.env, &self.suite_or(Dataset::table5_suite()));
                 println!("{}", table5_6::render("Table 6", "TriCore", &rows));
             }
             "fig7" => {
@@ -76,14 +85,19 @@ impl Cli {
                     &self.suite_or(fig12_13::fig13_suite()),
                     &tc_algos::bisson::Bisson::default(),
                 );
-                println!("{}", fig12_13::render("Figure 13", "Bisson's algorithm", &rows));
+                println!(
+                    "{}",
+                    fig12_13::render("Figure 13", "Bisson's algorithm", &rows)
+                );
             }
             "fig14" => {
-                let rows = fig14_15::run_fig14(&self.env, &self.suite_or(fig14_15::default_suite()));
+                let rows =
+                    fig14_15::run_fig14(&self.env, &self.suite_or(fig14_15::default_suite()));
                 println!("{}", fig14_15::render_fig14(&rows));
             }
             "fig15" => {
-                let rows = fig14_15::run_fig15(&self.env, &self.suite_or(fig14_15::default_suite()));
+                let rows =
+                    fig14_15::run_fig15(&self.env, &self.suite_or(fig14_15::default_suite()));
                 println!("{}", fig14_15::render_fig15(&rows));
             }
             "algorithms" => {
@@ -102,6 +116,18 @@ impl Cli {
                 let rows = fig16::run_on(&self.env, &self.suite_or(fig16::default_suite()));
                 println!("{}", fig16::render(&rows));
             }
+            "bench-pipeline" => {
+                let timings = pipeline_bench::run(self.small);
+                println!("{}", pipeline_bench::render(&timings));
+                let json = pipeline_bench::to_json(&timings);
+                match std::fs::write("BENCH_pipeline.json", &json) {
+                    Ok(()) => eprintln!("wrote BENCH_pipeline.json"),
+                    Err(e) => {
+                        eprintln!("could not write BENCH_pipeline.json: {e}");
+                        return false;
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown experiment id: {other}");
                 return false;
@@ -109,11 +135,36 @@ impl Cli {
         }
         true
     }
+
+    /// Runs one experiment and reports its end-to-end wall-clock.
+    fn run_timed(&self, id: &str) -> bool {
+        let t = Instant::now();
+        let ok = self.run_one(id);
+        eprintln!(
+            "[{id}] harness wall-clock: {:.2}s",
+            t.elapsed().as_secs_f64()
+        );
+        ok
+    }
 }
 
 const ALL: [&str; 16] = [
-    "fig7", "fig8", "fig9", "table3", "fig10", "fig11", "table2", "fig12", "fig13", "table5",
-    "table6", "fig14", "fig15", "fig16", "ablation", "algorithms",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table3",
+    "fig10",
+    "fig11",
+    "table2",
+    "fig12",
+    "fig13",
+    "table5",
+    "table6",
+    "fig14",
+    "fig15",
+    "fig16",
+    "ablation",
+    "algorithms",
 ];
 
 fn main() {
@@ -125,7 +176,10 @@ fn main() {
         .map(String::as_str)
         .collect();
     if ids.is_empty() {
-        eprintln!("usage: experiments <{}|all> [--small]", ALL.join("|"));
+        eprintln!(
+            "usage: experiments <{}|bench-pipeline|all> [--small]",
+            ALL.join("|")
+        );
         std::process::exit(2);
     }
 
@@ -140,11 +194,11 @@ fn main() {
     if ids.contains(&"all") {
         for id in ALL {
             eprintln!("--- running {id} ---");
-            ok &= cli.run_one(id);
+            ok &= cli.run_timed(id);
         }
     } else {
         for id in ids {
-            ok &= cli.run_one(id);
+            ok &= cli.run_timed(id);
         }
     }
     if !ok {

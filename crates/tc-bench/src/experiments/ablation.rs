@@ -11,66 +11,93 @@
 //!    co-residency erodes the D-order penalty.
 
 use crate::fmt::{ms, Table};
-use crate::runner::{measure, ExperimentEnv};
+use crate::grid::par_map;
+use crate::runner::{measure, measure_cached, ExperimentEnv};
 use tc_algos::hu::HuFineGrained;
 use tc_core::cost::direction_cost;
 use tc_core::{DirectionScheme, OrderingScheme};
 use tc_datasets::Dataset;
 
-/// Peel-schedule ablation rows: `(dataset, scheme, eq1 cost, kernel ms)`.
+/// Peel-schedule ablation rows: `(dataset, scheme, eq1 cost, kernel ms)`,
+/// one parallel grid cell per (dataset, scheme).
 pub fn run_peel(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<(String, String, f64, f64)> {
+    const SCHEMES: [DirectionScheme; 3] = [
+        DirectionScheme::DegreeBased,
+        DirectionScheme::ADirectionPhased,
+        DirectionScheme::ADirection,
+    ];
     let algo = HuFineGrained::default();
-    let mut rows = Vec::new();
-    for &d in datasets {
-        let g = env.graph(d);
-        for scheme in [
-            DirectionScheme::DegreeBased,
-            DirectionScheme::ADirectionPhased,
-            DirectionScheme::ADirection,
-        ] {
-            let cost = direction_cost(&scheme.orient(&g));
-            let m = measure(env, &g, scheme, OrderingScheme::Original, 64, &algo);
-            rows.push((d.name().to_string(), scheme.name().to_string(), cost, m.kernel_ms));
-        }
-    }
-    rows
+    let cells: Vec<(Dataset, DirectionScheme)> = datasets
+        .iter()
+        .flat_map(|&d| SCHEMES.iter().map(move |&s| (d, s)))
+        .collect();
+    par_map(&cells, |&(d, scheme)| {
+        let prep = env.preprocessed(d, scheme, OrderingScheme::Original, 64);
+        let cost = direction_cost(prep.directed());
+        let m = measure_cached(env, d, scheme, OrderingScheme::Original, 64, &algo);
+        (
+            d.name().to_string(),
+            scheme.name().to_string(),
+            cost,
+            m.kernel_ms,
+        )
+    })
 }
 
-/// Bucket-size sweep rows: `(dataset, k, kernel ms)`.
+/// Bucket-size sweep rows: `(dataset, k, kernel ms)`, one parallel grid
+/// cell per (dataset, k).
 pub fn run_bucket_sweep(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<(String, usize, f64)> {
-    let mut rows = Vec::new();
-    for &d in datasets {
-        let g = env.graph(d);
-        for k in [16usize, 32, 64, 128, 256] {
-            let algo = HuFineGrained {
-                bucket_size: k,
-                ..HuFineGrained::default()
-            };
-            let m = measure(env, &g, DirectionScheme::DegreeBased, OrderingScheme::AOrder, k, &algo);
-            rows.push((d.name().to_string(), k, m.kernel_ms));
-        }
-    }
-    rows
+    const KS: [usize; 5] = [16, 32, 64, 128, 256];
+    let cells: Vec<(Dataset, usize)> = datasets
+        .iter()
+        .flat_map(|&d| KS.iter().map(move |&k| (d, k)))
+        .collect();
+    par_map(&cells, |&(d, k)| {
+        let algo = HuFineGrained {
+            bucket_size: k,
+            ..HuFineGrained::default()
+        };
+        let m = measure_cached(
+            env,
+            d,
+            DirectionScheme::DegreeBased,
+            OrderingScheme::AOrder,
+            k,
+            &algo,
+        );
+        (d.name().to_string(), k, m.kernel_ms)
+    })
 }
 
-/// Residency sweep rows: `(blocks_per_sm, D-order ms, A-order ms)`.
+/// Residency sweep rows: `(blocks_per_sm, D-order ms, A-order ms)`, one
+/// parallel grid cell per residency level (each needs its own GPU config
+/// and hence its own env).
 pub fn run_residency_sweep(dataset: Dataset) -> Vec<(usize, f64, f64)> {
-    let mut rows = Vec::new();
-    for bps in [1usize, 2, 4, 8] {
+    const BPS: [usize; 4] = [1, 2, 4, 8];
+    par_map(&BPS, |&bps| {
         let mut gpu = tc_gpusim::GpuConfig::titan_xp_like();
         gpu.blocks_per_sm = bps;
         let env = crate::runner::ExperimentEnv::with_gpu(gpu);
         let g = env.graph(dataset);
         let algo = HuFineGrained::default();
         let d_order = measure(
-            &env, &g, DirectionScheme::DegreeBased, OrderingScheme::DegreeOrder, 64, &algo,
+            &env,
+            &g,
+            DirectionScheme::DegreeBased,
+            OrderingScheme::DegreeOrder,
+            64,
+            &algo,
         );
         let a_order = measure(
-            &env, &g, DirectionScheme::DegreeBased, OrderingScheme::AOrder, 64, &algo,
+            &env,
+            &g,
+            DirectionScheme::DegreeBased,
+            OrderingScheme::AOrder,
+            64,
+            &algo,
         );
-        rows.push((bps, d_order.kernel_ms, a_order.kernel_ms));
-    }
-    rows
+        (bps, d_order.kernel_ms, a_order.kernel_ms)
+    })
 }
 
 /// Renders all three studies.

@@ -8,35 +8,45 @@
 //! the meaningful output.
 
 use crate::fmt::{ms, Table};
+use crate::grid::par_map;
 use crate::runner::ExperimentEnv;
 use std::time::Instant;
 use tc_algos::cpu;
-use tc_core::{DirectionScheme, OrderingScheme, Preprocessor};
+use tc_core::{DirectionScheme, OrderingScheme};
 use tc_datasets::Dataset;
 
 /// GPU rows: `(algorithm, dataset, kernel ms, triangles)`.
+///
+/// The (dataset × algorithm) grid runs in parallel; all algorithms of a
+/// dataset share one cached preprocessing.
 pub fn run_gpu(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<(String, String, f64, u64)> {
-    let mut rows = Vec::new();
-    for &d in datasets {
-        let g = env.graph(d);
-        let prep = Preprocessor::new()
-            .direction(DirectionScheme::DegreeBased)
-            .ordering(OrderingScheme::Original)
-            .run(&g);
-        for algo in tc_algos::all_gpu_algorithms() {
-            let run = algo.count(prep.directed(), env.gpu());
-            rows.push((
-                algo.name().to_string(),
-                d.name().to_string(),
-                run.kernel_ms(env.gpu()),
-                run.triangles,
-            ));
-        }
-    }
-    rows
+    let algos = tc_algos::all_gpu_algorithms();
+    let cells: Vec<(Dataset, usize)> = datasets
+        .iter()
+        .flat_map(|&d| (0..algos.len()).map(move |a| (d, a)))
+        .collect();
+    par_map(&cells, |&(d, a)| {
+        let prep = env.preprocessed(
+            d,
+            DirectionScheme::DegreeBased,
+            OrderingScheme::Original,
+            64,
+        );
+        let algo = &algos[a];
+        let run = algo.count(prep.directed(), env.gpu());
+        (
+            algo.name().to_string(),
+            d.name().to_string(),
+            run.kernel_ms(env.gpu()),
+            run.triangles,
+        )
+    })
 }
 
 /// CPU rows: `(baseline, dataset, wall ms, triangles)`.
+///
+/// Deliberately serial: these rows *are* wall-clock measurements of this
+/// host, and running them under a loaded grid would distort them.
 pub fn run_cpu(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<(String, String, f64, u64)> {
     let mut rows = Vec::new();
     for &d in datasets {
@@ -45,7 +55,12 @@ pub fn run_cpu(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<(String, String
         let timed = |name: &str, f: &dyn Fn() -> u64| {
             let t = Instant::now();
             let tri = f();
-            (name.to_string(), d.name().to_string(), t.elapsed().as_secs_f64() * 1e3, tri)
+            (
+                name.to_string(),
+                d.name().to_string(),
+                t.elapsed().as_secs_f64() * 1e3,
+                tri,
+            )
         };
         rows.push(timed("edge-iterator", &|| cpu::edge_iterator(&g)));
         rows.push(timed("forward", &|| cpu::forward(&g)));

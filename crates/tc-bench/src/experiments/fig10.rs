@@ -6,7 +6,8 @@
 //! search.
 
 use crate::fmt::{ms, Table};
-use crate::runner::{measure, ExperimentEnv};
+use crate::grid::par_map;
+use crate::runner::{measure_cached, ExperimentEnv};
 use tc_algos::gunrock::Gunrock;
 use tc_algos::tricore::TriCore;
 use tc_core::{DirectionScheme, OrderingScheme};
@@ -30,33 +31,50 @@ pub struct Row {
 /// Default dataset list (six representative graphs).
 pub fn default_suite() -> Vec<Dataset> {
     use Dataset::*;
-    vec![EmailEnron, EmailEuall, Gowalla, CitPatent, WikiTopcats, KronLogn18]
+    vec![
+        EmailEnron,
+        EmailEuall,
+        Gowalla,
+        CitPatent,
+        WikiTopcats,
+        KronLogn18,
+    ]
 }
 
-/// Runs the comparison.
+/// Runs the comparison, evaluating the (dataset × variant) grid in
+/// parallel; all four variants of a dataset share one cached
+/// preprocessing.
 pub fn run_on(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<Row> {
+    let variants: [Box<dyn tc_algos::GpuTriangleCounter>; 4] = [
+        Box::new(Gunrock::binary_search()),
+        Box::new(Gunrock::sort_merge()),
+        Box::new(TriCore::default()),
+        Box::new(TriCore::sort_merge()),
+    ];
+    let cells: Vec<(Dataset, usize)> = datasets
+        .iter()
+        .flat_map(|&d| (0..variants.len()).map(move |v| (d, v)))
+        .collect();
+    let times = par_map(&cells, |&(d, v)| {
+        measure_cached(
+            env,
+            d,
+            DirectionScheme::DegreeBased,
+            OrderingScheme::Original,
+            64,
+            variants[v].as_ref(),
+        )
+        .kernel_ms
+    });
     datasets
         .iter()
-        .map(|&d| {
-            let g = env.graph(d);
-            let kernel = |algo: &dyn tc_algos::GpuTriangleCounter| -> f64 {
-                measure(
-                    env,
-                    &g,
-                    DirectionScheme::DegreeBased,
-                    OrderingScheme::Original,
-                    64,
-                    algo,
-                )
-                .kernel_ms
-            };
-            Row {
-                dataset: d.name(),
-                gunrock_bs: kernel(&Gunrock::binary_search()),
-                gunrock_sm: kernel(&Gunrock::sort_merge()),
-                tricore_bs: kernel(&TriCore::default()),
-                tricore_sm: kernel(&TriCore::sort_merge()),
-            }
+        .zip(times.chunks(variants.len()))
+        .map(|(&d, t)| Row {
+            dataset: d.name(),
+            gunrock_bs: t[0],
+            gunrock_sm: t[1],
+            tricore_bs: t[2],
+            tricore_sm: t[3],
         })
         .collect()
 }

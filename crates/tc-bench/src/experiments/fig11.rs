@@ -31,32 +31,30 @@ pub fn run(env: &ExperimentEnv) -> Vec<Row> {
     run_on(env, &Dataset::table2_suite())
 }
 
-/// Runs the sweep over an explicit dataset list.
+/// Runs the sweep over an explicit dataset list, one parallel grid cell
+/// per dataset (the three orientations inside a cell share its graph).
 pub fn run_on(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<Row> {
-    datasets
-        .iter()
-        .map(|&ds| {
-            let g = env.graph(ds);
-            let a = DirectionScheme::ADirection.orient(&g);
-            let d = DirectionScheme::DegreeBased.orient(&g);
-            let id = DirectionScheme::IdBased.orient(&g);
-            let declines = thresholds()
-                .into_iter()
-                .map(|k| {
-                    let ca = direction_cost_thresholded(&a, k);
-                    let cd = direction_cost_thresholded(&d, k);
-                    let cid = direction_cost_thresholded(&id, k);
-                    let vs_d = if cd > 0.0 { 1.0 - ca / cd } else { 0.0 };
-                    let vs_id = if cid > 0.0 { 1.0 - ca / cid } else { 0.0 };
-                    (k, vs_d, vs_id)
-                })
-                .collect();
-            Row {
-                dataset: ds.name(),
-                declines,
-            }
-        })
-        .collect()
+    crate::grid::par_map(datasets, |&ds| {
+        let g = env.graph(ds);
+        let a = DirectionScheme::ADirection.orient(&g);
+        let d = DirectionScheme::DegreeBased.orient(&g);
+        let id = DirectionScheme::IdBased.orient(&g);
+        let declines = thresholds()
+            .into_iter()
+            .map(|k| {
+                let ca = direction_cost_thresholded(&a, k);
+                let cd = direction_cost_thresholded(&d, k);
+                let cid = direction_cost_thresholded(&id, k);
+                let vs_d = if cd > 0.0 { 1.0 - ca / cd } else { 0.0 };
+                let vs_id = if cid > 0.0 { 1.0 - ca / cid } else { 0.0 };
+                (k, vs_d, vs_id)
+            })
+            .collect();
+        Row {
+            dataset: ds.name(),
+            declines,
+        }
+    })
 }
 
 /// Renders the sweep.

@@ -7,7 +7,8 @@
 //! (2.6–54.9%).
 
 use crate::fmt::{ms, pct, Table};
-use crate::runner::{measure, ExperimentEnv, RunMeasurement};
+use crate::grid::par_map;
+use crate::runner::{measure_cached, ExperimentEnv, RunMeasurement};
 use tc_algos::bisson::Bisson;
 use tc_algos::hu::HuFineGrained;
 use tc_algos::GpuTriangleCounter;
@@ -44,7 +45,14 @@ impl Row {
 pub fn fig12_suite() -> Vec<Dataset> {
     use Dataset::*;
     vec![
-        EmailEnron, EmailEuall, Gowalla, CitPatent, ComLj, WikiTopcats, KronLogn18, KronLogn21,
+        EmailEnron,
+        EmailEuall,
+        Gowalla,
+        CitPatent,
+        ComLj,
+        WikiTopcats,
+        KronLogn18,
+        KronLogn21,
     ]
 }
 
@@ -52,28 +60,43 @@ pub fn fig12_suite() -> Vec<Dataset> {
 /// huge vertex counts, so the paper uses fewer datasets).
 pub fn fig13_suite() -> Vec<Dataset> {
     use Dataset::*;
-    vec![EmailEnron, EmailEuall, Gowalla, CitPatent, WikiTopcats, KronLogn18]
+    vec![
+        EmailEnron,
+        EmailEuall,
+        Gowalla,
+        CitPatent,
+        WikiTopcats,
+        KronLogn18,
+    ]
 }
 
-/// Runs the directing comparison for one algorithm.
+/// Runs the directing comparison for one algorithm, evaluating the
+/// (dataset × scheme) grid in parallel.
 pub fn run_on(
     env: &ExperimentEnv,
     datasets: &[Dataset],
     algo: &dyn GpuTriangleCounter,
 ) -> Vec<Row> {
+    const SCHEMES: [DirectionScheme; 3] = [
+        DirectionScheme::IdBased,
+        DirectionScheme::DegreeBased,
+        DirectionScheme::ADirection,
+    ];
+    let cells: Vec<(Dataset, DirectionScheme)> = datasets
+        .iter()
+        .flat_map(|&d| SCHEMES.iter().map(move |&s| (d, s)))
+        .collect();
+    let runs = par_map(&cells, |&(d, scheme)| {
+        measure_cached(env, d, scheme, OrderingScheme::Original, 64, algo)
+    });
     datasets
         .iter()
-        .map(|&d| {
-            let g = env.graph(d);
-            let run = |scheme: DirectionScheme| {
-                measure(env, &g, scheme, OrderingScheme::Original, 64, algo)
-            };
-            Row {
-                dataset: d.name(),
-                id_based: run(DirectionScheme::IdBased),
-                d_direction: run(DirectionScheme::DegreeBased),
-                a_direction: run(DirectionScheme::ADirection),
-            }
+        .zip(runs.chunks(SCHEMES.len()))
+        .map(|(&d, r)| Row {
+            dataset: d.name(),
+            id_based: r[0].clone(),
+            d_direction: r[1].clone(),
+            a_direction: r[2].clone(),
         })
         .collect()
 }

@@ -7,7 +7,8 @@
 //! vertex.
 
 use crate::fmt::{ms, pct, Table};
-use crate::runner::{measure, ExperimentEnv};
+use crate::grid::par_map;
+use crate::runner::{measure_cached, ExperimentEnv};
 use std::time::Instant;
 use tc_algos::fox::Fox;
 use tc_algos::gunrock::Gunrock;
@@ -47,61 +48,75 @@ pub struct FoxRow {
 /// Shared dataset suite for both figures.
 pub fn default_suite() -> Vec<Dataset> {
     use Dataset::*;
-    vec![EmailEnron, EmailEuall, Gowalla, CitPatent, WikiTopcats, KronLogn18]
+    vec![
+        EmailEnron,
+        EmailEuall,
+        Gowalla,
+        CitPatent,
+        WikiTopcats,
+        KronLogn18,
+    ]
 }
 
-/// Figure 14: vertex orderings on Gunrock.
+/// Figure 14: vertex orderings on Gunrock, over the parallel
+/// (dataset × ordering) grid.
 pub fn run_fig14(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<GunrockRow> {
+    const SCHEMES: [OrderingScheme; 3] = [
+        OrderingScheme::Original,
+        OrderingScheme::DegreeOrder,
+        OrderingScheme::AOrder,
+    ];
     let algo = Gunrock::binary_search();
+    let cells: Vec<(Dataset, OrderingScheme)> = datasets
+        .iter()
+        .flat_map(|&d| SCHEMES.iter().map(move |&s| (d, s)))
+        .collect();
+    let runs = par_map(&cells, |&(d, scheme)| {
+        measure_cached(env, d, DirectionScheme::DegreeBased, scheme, 64, &algo)
+    });
     datasets
         .iter()
-        .map(|&d| {
-            let g = env.graph(d);
-            let run = |scheme: OrderingScheme| {
-                measure(env, &g, DirectionScheme::DegreeBased, scheme, 64, &algo)
-            };
-            let a = run(OrderingScheme::AOrder);
-            GunrockRow {
-                dataset: d.name(),
-                original: run(OrderingScheme::Original).kernel_ms,
-                d_order: run(OrderingScheme::DegreeOrder).kernel_ms,
-                a_order: a.kernel_ms,
-                a_order_prep: a.ordering_ms,
-            }
+        .zip(runs.chunks(SCHEMES.len()))
+        .map(|(&d, r)| GunrockRow {
+            dataset: d.name(),
+            original: r[0].kernel_ms,
+            d_order: r[1].kernel_ms,
+            a_order: r[2].kernel_ms,
+            a_order_prep: r[2].ordering_ms,
         })
         .collect()
 }
 
-/// Figure 15: edge orderings on Fox's algorithm.
+/// Figure 15: edge orderings on Fox's algorithm, one parallel grid cell
+/// per dataset (both edge orders inside a cell share its oriented graph).
 pub fn run_fig15(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<FoxRow> {
-    datasets
-        .iter()
-        .map(|&d| {
-            let g = env.graph(d);
-            let directed = DirectionScheme::DegreeBased.orient(&g);
-            let binned = Fox::default().count(&directed, env.gpu());
+    par_map(datasets, |&d| {
+        let g = env.graph(d);
+        let directed = DirectionScheme::DegreeBased.orient(&g);
+        let binned = Fox::default().count(&directed, env.gpu());
 
-            let t = Instant::now();
-            // One block consumes warps_per_block × edges_per_warp edges.
-            let edges_per_block = env.gpu().warps_per_block * Fox::default().edges_per_warp;
-            let order = a_order_edges(&directed, env.params(), edges_per_block);
-            let prep_ms = t.elapsed().as_secs_f64() * 1e3;
-            let balanced = Fox::with_edge_order(order).count(&directed, env.gpu());
-            assert_eq!(binned.triangles, balanced.triangles, "{}", d.name());
+        let t = Instant::now();
+        // One block consumes warps_per_block × edges_per_warp edges.
+        let edges_per_block = env.gpu().warps_per_block * Fox::default().edges_per_warp;
+        let order = a_order_edges(&directed, env.params(), edges_per_block);
+        let prep_ms = t.elapsed().as_secs_f64() * 1e3;
+        let balanced = Fox::with_edge_order(order).count(&directed, env.gpu());
+        assert_eq!(binned.triangles, balanced.triangles, "{}", d.name());
 
-            FoxRow {
-                dataset: d.name(),
-                binned: env.gpu().cycles_to_ms(binned.metrics.kernel_cycles),
-                balanced: env.gpu().cycles_to_ms(balanced.metrics.kernel_cycles),
-                balanced_prep: prep_ms,
-            }
-        })
-        .collect()
+        FoxRow {
+            dataset: d.name(),
+            binned: env.gpu().cycles_to_ms(binned.metrics.kernel_cycles),
+            balanced: env.gpu().cycles_to_ms(balanced.metrics.kernel_cycles),
+            balanced_prep: prep_ms,
+        }
+    })
 }
 
 /// Renders Figure 14.
 pub fn render_fig14(rows: &[GunrockRow]) -> String {
-    let mut t = Table::new(["dataset", "Origin", "D-order", "A-order", "A prep", "speedup"]);
+    let mut t = Table::new([
+        "dataset", "Origin", "D-order", "A-order", "A prep", "speedup",
+    ]);
     for r in rows {
         t.row([
             r.dataset.to_string(),

@@ -5,7 +5,8 @@
 //! by 7.6% and A-order-only by 13.6% on average (total time).
 
 use crate::fmt::{ms, pct, Table};
-use crate::runner::{measure, ExperimentEnv, RunMeasurement};
+use crate::grid::par_map;
+use crate::runner::{measure_cached, ExperimentEnv, RunMeasurement};
 use tc_algos::hu::HuFineGrained;
 use tc_core::{DirectionScheme, OrderingScheme};
 use tc_datasets::Dataset;
@@ -47,24 +48,33 @@ pub fn default_suite() -> Vec<Dataset> {
     super::fig12_13::fig12_suite()
 }
 
-/// Runs the combination study.
+/// Runs the combination study over the parallel
+/// (dataset × configuration) grid.
 pub fn run_on(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<Row> {
+    const CONFIGS: [(DirectionScheme, OrderingScheme); 4] = [
+        (DirectionScheme::DegreeBased, OrderingScheme::Original),
+        (DirectionScheme::ADirection, OrderingScheme::Original),
+        (DirectionScheme::DegreeBased, OrderingScheme::AOrder),
+        (DirectionScheme::ADirection, OrderingScheme::AOrder),
+    ];
     let algo = HuFineGrained::default();
     let k = algo.bucket_size;
+    let cells: Vec<(Dataset, DirectionScheme, OrderingScheme)> = datasets
+        .iter()
+        .flat_map(|&d| CONFIGS.iter().map(move |&(dir, ord)| (d, dir, ord)))
+        .collect();
+    let runs = par_map(&cells, |&(d, dir, ord)| {
+        measure_cached(env, d, dir, ord, k, &algo)
+    });
     datasets
         .iter()
-        .map(|&d| {
-            let g = env.graph(d);
-            let run = |dir: DirectionScheme, ord: OrderingScheme| {
-                measure(env, &g, dir, ord, k, &algo)
-            };
-            Row {
-                dataset: d.name(),
-                baseline: run(DirectionScheme::DegreeBased, OrderingScheme::Original),
-                a_direction: run(DirectionScheme::ADirection, OrderingScheme::Original),
-                a_order: run(DirectionScheme::DegreeBased, OrderingScheme::AOrder),
-                combined: run(DirectionScheme::ADirection, OrderingScheme::AOrder),
-            }
+        .zip(runs.chunks(CONFIGS.len()))
+        .map(|(&d, r)| Row {
+            dataset: d.name(),
+            baseline: r[0].clone(),
+            a_direction: r[1].clone(),
+            a_order: r[2].clone(),
+            combined: r[3].clone(),
         })
         .collect()
 }
@@ -72,13 +82,7 @@ pub fn run_on(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<Row> {
 /// Renders the study.
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new([
-        "dataset",
-        "baseline",
-        "A-dir",
-        "A-ord",
-        "combined",
-        "vs A-dir",
-        "vs A-ord",
+        "dataset", "baseline", "A-dir", "A-ord", "combined", "vs A-dir", "vs A-ord",
     ]);
     let mut sum_dir = 0.0;
     let mut sum_ord = 0.0;

@@ -41,10 +41,11 @@ pub fn render_fig9(cal: &Calibration) -> String {
             format!("{:.4}", cal.params.lambda * x),
         ]);
     }
-    format!
-    (
+    format!(
         "Figure 9: balance-point fit m = lambda * (p_c * c)\n\
          lambda = {:.3} (paper's Titan Xp: 9.682), R^2 = {:.4}\n{}",
-        cal.params.lambda, cal.r_squared, t.render()
+        cal.params.lambda,
+        cal.r_squared,
+        t.render()
     )
 }

@@ -15,7 +15,8 @@
 //! three fix the Original ordering and vary the direction.
 
 use crate::fmt::{ms, Table};
-use crate::runner::{measure, ExperimentEnv};
+use crate::grid::par_map;
+use crate::runner::{measure_cached, ExperimentEnv};
 use tc_algos::hu::HuFineGrained;
 use tc_core::{DirectionScheme, OrderingScheme};
 use tc_datasets::Dataset;
@@ -42,25 +43,37 @@ pub fn run(env: &ExperimentEnv) -> Vec<Row> {
     run_on(env, &Dataset::table2_suite())
 }
 
-/// Runs the experiment over an explicit dataset list.
+/// The five (direction, ordering) configurations of one table row.
+const CONFIGS: [(DirectionScheme, OrderingScheme); 5] = [
+    (DirectionScheme::DegreeBased, OrderingScheme::DegreeOrder),
+    (DirectionScheme::DegreeBased, OrderingScheme::AOrder),
+    (DirectionScheme::DegreeBased, OrderingScheme::Original),
+    (DirectionScheme::IdBased, OrderingScheme::Original),
+    (DirectionScheme::ADirection, OrderingScheme::Original),
+];
+
+/// Runs the experiment over an explicit dataset list, evaluating the
+/// (dataset × configuration) grid in parallel.
 pub fn run_on(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<Row> {
     let algo = HuFineGrained::default();
     let k = algo.bucket_size;
+    let cells: Vec<(Dataset, DirectionScheme, OrderingScheme)> = datasets
+        .iter()
+        .flat_map(|&d| CONFIGS.iter().map(move |&(dir, ord)| (d, dir, ord)))
+        .collect();
+    let times = par_map(&cells, |&(d, dir, ord)| {
+        measure_cached(env, d, dir, ord, k, &algo).kernel_ms
+    });
     datasets
         .iter()
-        .map(|&d| {
-            let g = env.graph(d);
-            let kernel = |dir: DirectionScheme, ord: OrderingScheme| -> f64 {
-                measure(env, &g, dir, ord, k, &algo).kernel_ms
-            };
-            Row {
-                dataset: d.name(),
-                d_order: kernel(DirectionScheme::DegreeBased, OrderingScheme::DegreeOrder),
-                a_order: kernel(DirectionScheme::DegreeBased, OrderingScheme::AOrder),
-                d_direction: kernel(DirectionScheme::DegreeBased, OrderingScheme::Original),
-                id_based: kernel(DirectionScheme::IdBased, OrderingScheme::Original),
-                a_direction: kernel(DirectionScheme::ADirection, OrderingScheme::Original),
-            }
+        .zip(times.chunks(CONFIGS.len()))
+        .map(|(&d, t)| Row {
+            dataset: d.name(),
+            d_order: t[0],
+            a_order: t[1],
+            d_direction: t[2],
+            id_based: t[3],
+            a_direction: t[4],
         })
         .collect()
 }

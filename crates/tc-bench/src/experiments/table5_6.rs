@@ -9,7 +9,8 @@
 //! on both.
 
 use crate::fmt::{ms, pct, Table};
-use crate::runner::{measure, ExperimentEnv, RunMeasurement};
+use crate::grid::par_map;
+use crate::runner::{measure_cached, ExperimentEnv, RunMeasurement};
 use tc_algos::hu::HuFineGrained;
 use tc_algos::tricore::TriCore;
 use tc_algos::GpuTriangleCounter;
@@ -51,36 +52,36 @@ impl Row {
 }
 
 /// Runs the sweep for one algorithm over the Table 5/6 dataset suite.
+///
+/// The (dataset × ordering) grid is evaluated in parallel
+/// ([`par_map`]); rows come back grouped per dataset in input order.
 pub fn run_on(
     env: &ExperimentEnv,
     datasets: &[Dataset],
     algo: &dyn GpuTriangleCounter,
     bucket_size: usize,
 ) -> Vec<Row> {
+    let schemes = OrderingScheme::all();
+    let cells: Vec<(Dataset, OrderingScheme)> = datasets
+        .iter()
+        .flat_map(|&d| schemes.iter().map(move |&s| (d, s)))
+        .collect();
+    let runs = par_map(&cells, |&(d, scheme)| {
+        measure_cached(
+            env,
+            d,
+            DirectionScheme::DegreeBased,
+            scheme,
+            bucket_size,
+            algo,
+        )
+    });
     datasets
         .iter()
-        .map(|&d| {
-            let g = env.graph(d);
-            let runs = OrderingScheme::all()
-                .into_iter()
-                .map(|scheme| {
-                    (
-                        scheme,
-                        measure(
-                            env,
-                            &g,
-                            DirectionScheme::DegreeBased,
-                            scheme,
-                            bucket_size,
-                            algo,
-                        ),
-                    )
-                })
-                .collect();
-            Row {
-                dataset: d.name(),
-                runs,
-            }
+        .zip(runs.chunks(schemes.len()))
+        .map(|(&d, chunk)| Row {
+            dataset: d.name(),
+            runs: schemes.iter().copied().zip(chunk.iter().cloned()).collect(),
         })
         .collect()
 }
@@ -99,8 +100,21 @@ pub fn run_table6(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<Row> {
 /// Renders either table in the paper's layout.
 pub fn render(table: &str, algo_name: &str, rows: &[Row]) -> String {
     let mut t = Table::new([
-        "dataset", "Origin", "D-order", "DFS k", "DFS t", "BFS-R k", "BFS-R t", "SlashB k",
-        "SlashB t", "GRO k", "GRO t", "A-ord k", "A-ord t", "speedup k", "speedup t",
+        "dataset",
+        "Origin",
+        "D-order",
+        "DFS k",
+        "DFS t",
+        "BFS-R k",
+        "BFS-R t",
+        "SlashB k",
+        "SlashB t",
+        "GRO k",
+        "GRO t",
+        "A-ord k",
+        "A-ord t",
+        "speedup k",
+        "speedup t",
     ]);
     for r in rows {
         let g = |s: OrderingScheme| r.get(s);

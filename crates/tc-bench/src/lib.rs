@@ -10,6 +10,8 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod grid;
+pub mod pipeline_bench;
 pub mod runner;
 
 pub use runner::{ExperimentEnv, RunMeasurement};

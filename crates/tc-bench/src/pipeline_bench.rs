@@ -1,0 +1,179 @@
+//! Harness self-benchmark: serial vs parallel wall-clock.
+//!
+//! Runs selected experiments twice — once with the whole harness forced
+//! serial (`set_thread_override(Some(1))` pins both the experiment grid
+//! and the trace-generation pipeline to one thread) and once with the
+//! configured parallelism — and reports the end-to-end wall-clock of
+//! each, plus the speedup. Each pass gets a **fresh** [`ExperimentEnv`]
+//! so the dataset and preprocessing memo caches can't leak work between
+//! passes.
+//!
+//! `experiments -- bench-pipeline` renders the table and writes the
+//! machine-readable `BENCH_pipeline.json`, which future PRs use to track
+//! the harness speedup over time (target: ≥ 2× on a 4-core runner).
+
+use crate::experiments::{algorithms, table5_6};
+use crate::fmt::Table;
+use crate::runner::ExperimentEnv;
+use std::time::Instant;
+use tc_datasets::Dataset;
+use tc_gpusim::pipeline::{configured_threads, set_thread_override};
+
+/// Wall-clock of one experiment under both harness modes.
+#[derive(Clone, Debug)]
+pub struct ExperimentTiming {
+    /// Experiment id (`table5`, `algorithms`, …).
+    pub experiment: String,
+    /// Seconds with the harness forced to one thread.
+    pub serial_s: f64,
+    /// Seconds with the configured thread count.
+    pub parallel_s: f64,
+    /// Worker threads the parallel pass used.
+    pub threads: usize,
+}
+
+impl ExperimentTiming {
+    /// Serial / parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_s > 0.0 {
+            self.serial_s / self.parallel_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The benchmarked experiment ids, in run order.
+pub const EXPERIMENTS: [&str; 2] = ["table5", "algorithms"];
+
+fn run_experiment(id: &str, small: bool) {
+    // Fresh env per pass: the memo caches must not carry preprocessing
+    // from the serial pass into the parallel one.
+    let env = ExperimentEnv::new();
+    match id {
+        "table5" => {
+            let suite = if small {
+                Dataset::small_suite()
+            } else {
+                Dataset::table5_suite()
+            };
+            let rows = table5_6::run_table5(&env, &suite);
+            assert!(!rows.is_empty());
+        }
+        "algorithms" => {
+            let suite = if small {
+                Dataset::small_suite()
+            } else {
+                vec![Dataset::EmailEnron, Dataset::Gowalla, Dataset::KronLogn18]
+            };
+            // GPU grid only: the CPU baselines are deliberately serial
+            // wall-clock measurements and would dilute the comparison.
+            let rows = algorithms::run_gpu(&env, &suite);
+            assert!(!rows.is_empty());
+        }
+        other => panic!("unknown bench experiment: {other}"),
+    }
+}
+
+/// Times every benchmarked experiment serial-then-parallel.
+pub fn run(small: bool) -> Vec<ExperimentTiming> {
+    EXPERIMENTS
+        .iter()
+        .map(|&id| {
+            set_thread_override(Some(1));
+            let t = Instant::now();
+            run_experiment(id, small);
+            let serial_s = t.elapsed().as_secs_f64();
+            set_thread_override(None);
+
+            let threads = configured_threads();
+            let t = Instant::now();
+            run_experiment(id, small);
+            let parallel_s = t.elapsed().as_secs_f64();
+
+            ExperimentTiming {
+                experiment: id.to_string(),
+                serial_s,
+                parallel_s,
+                threads,
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparison as a text table.
+pub fn render(timings: &[ExperimentTiming]) -> String {
+    let mut t = Table::new(["experiment", "serial s", "parallel s", "threads", "speedup"]);
+    for row in timings {
+        t.row([
+            row.experiment.clone(),
+            format!("{:.2}", row.serial_s),
+            format!("{:.2}", row.parallel_s),
+            row.threads.to_string(),
+            format!("{:.2}x", row.speedup()),
+        ]);
+    }
+    format!(
+        "Harness pipeline benchmark (end-to-end wall-clock, serial vs parallel)\n{}",
+        t.render()
+    )
+}
+
+/// Machine-readable form of the comparison (hand-rolled JSON; the
+/// workspace deliberately has no serde dependency).
+///
+/// `cores` is recorded because the achievable speedup is bounded by it: a
+/// 1-core runner legitimately reports ≈ 1.0× (both passes run serial),
+/// while the ≥ 2× target applies to multi-core machines.
+pub fn to_json(timings: &[ExperimentTiming]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        "{{\n  \"benchmark\": \"harness-pipeline\",\n  \"cores\": {cores},\n  \"experiments\": [\n"
+    );
+    for (i, t) in timings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"serial_s\": {:.4}, \"parallel_s\": {:.4}, \
+             \"threads\": {}, \"speedup\": {:.3}}}{}\n",
+            t.experiment,
+            t.serial_s,
+            t.parallel_s,
+            t.threads,
+            t.speedup(),
+            if i + 1 < timings.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_valid() {
+        let timings = vec![ExperimentTiming {
+            experiment: "table5".into(),
+            serial_s: 2.0,
+            parallel_s: 1.0,
+            threads: 4,
+        }];
+        let json = to_json(&timings);
+        assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"experiment\"").count(), 1);
+    }
+
+    #[test]
+    fn speedup_handles_zero_parallel_time() {
+        let t = ExperimentTiming {
+            experiment: "x".into(),
+            serial_s: 1.0,
+            parallel_s: 0.0,
+            threads: 4,
+        };
+        assert_eq!(t.speedup(), 0.0);
+    }
+}

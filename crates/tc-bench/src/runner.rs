@@ -2,21 +2,34 @@
 //! parameters, and a measured preprocessing + kernel run.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use tc_algos::{GpuTriangleCounter, RunResult};
 use tc_core::model::{calibrate, ModelParams};
-use tc_core::{DirectionScheme, OrderingScheme, Preprocessor};
+use tc_core::{DirectionScheme, OrderingScheme, PreprocessResult, Preprocessor};
 use tc_datasets::Dataset;
 use tc_gpusim::GpuConfig;
 use tc_graph::CsrGraph;
 
+/// Cache key of one preprocessing configuration.
+type PrepKey = (Dataset, DirectionScheme, OrderingScheme, usize);
+
 /// The environment every experiment runs in: one GPU configuration plus
 /// the model parameters calibrated against it (the paper calibrates once
 /// per GPU and reuses the parameters across datasets — Section 5.3).
+///
+/// The env also memoizes the expensive shared inputs: loaded dataset
+/// stand-ins and full preprocessing runs. Both caches are thread-safe so
+/// parallel grid cells ([`crate::grid::par_map`]) can share them; a
+/// preprocessing configuration is computed exactly once (concurrent
+/// requesters block on the same [`OnceLock`] instead of duplicating the
+/// work), and the wall-clock timings captured by that first computation
+/// are the ones every cell reports — the paper's preprocessing-time
+/// accounting is unchanged by either memoization or parallelism.
 pub struct ExperimentEnv {
     gpu: GpuConfig,
     params: ModelParams,
     graphs: Mutex<HashMap<Dataset, CsrGraph>>,
+    preps: Mutex<HashMap<PrepKey, Arc<OnceLock<Arc<PreprocessResult>>>>>,
 }
 
 impl ExperimentEnv {
@@ -33,6 +46,7 @@ impl ExperimentEnv {
             gpu,
             params,
             graphs: Mutex::new(HashMap::new()),
+            preps: Mutex::new(HashMap::new()),
         }
     }
 
@@ -54,6 +68,41 @@ impl ExperimentEnv {
             .entry(dataset)
             .or_insert_with(|| tc_datasets::load(dataset))
             .clone()
+    }
+
+    /// Preprocesses `dataset` with the given schemes, memoized.
+    ///
+    /// The first call for a key runs (and wall-clock-times) the real
+    /// pipeline; every later call — including concurrent ones from other
+    /// grid cells — gets the same [`PreprocessResult`], timings included.
+    pub fn preprocessed(
+        &self,
+        dataset: Dataset,
+        direction: DirectionScheme,
+        ordering: OrderingScheme,
+        bucket_size: usize,
+    ) -> Arc<PreprocessResult> {
+        let cell = {
+            let mut preps = self.preps.lock().expect("poisoned");
+            preps
+                .entry((dataset, direction, ordering, bucket_size))
+                .or_default()
+                .clone()
+        };
+        // Compute outside the map lock so unrelated keys proceed in
+        // parallel; OnceLock serializes same-key racers.
+        cell.get_or_init(|| {
+            let g = self.graph(dataset);
+            Arc::new(
+                Preprocessor::new()
+                    .direction(direction)
+                    .ordering(ordering)
+                    .bucket_size(bucket_size)
+                    .params(self.params.clone())
+                    .run(&g),
+            )
+        })
+        .clone()
     }
 }
 
@@ -95,7 +144,25 @@ impl RunMeasurement {
     }
 }
 
+fn measure_prepped(
+    env: &ExperimentEnv,
+    prep: &PreprocessResult,
+    algo: &dyn GpuTriangleCounter,
+) -> RunMeasurement {
+    let result = algo.count(prep.directed(), &env.gpu);
+    RunMeasurement {
+        triangles: result.triangles,
+        kernel_ms: env.gpu.cycles_to_ms(result.metrics.kernel_cycles),
+        direction_ms: prep.timings.direction_ms(),
+        ordering_ms: prep.timings.ordering_ms(),
+        result,
+    }
+}
+
 /// Preprocesses `g` with the given schemes and runs `algo` on the result.
+///
+/// For graphs that came from a [`Dataset`], prefer [`measure_cached`]: it
+/// shares preprocessing across grid cells instead of redoing it.
 pub fn measure(
     env: &ExperimentEnv,
     g: &CsrGraph,
@@ -108,16 +175,24 @@ pub fn measure(
         .direction(direction)
         .ordering(ordering)
         .bucket_size(bucket_size)
-        .params(env.params.clone())
+        .params(env.params().clone())
         .run(g);
-    let result = algo.count(prep.directed(), &env.gpu);
-    RunMeasurement {
-        triangles: result.triangles,
-        kernel_ms: env.gpu.cycles_to_ms(result.metrics.kernel_cycles),
-        direction_ms: prep.timings.direction_ms(),
-        ordering_ms: prep.timings.ordering_ms(),
-        result,
-    }
+    measure_prepped(env, &prep, algo)
+}
+
+/// [`measure`] over a named dataset, with the preprocessing stage served
+/// from the env's memo cache (computed and wall-clock-timed exactly once
+/// per configuration).
+pub fn measure_cached(
+    env: &ExperimentEnv,
+    dataset: Dataset,
+    direction: DirectionScheme,
+    ordering: OrderingScheme,
+    bucket_size: usize,
+    algo: &dyn GpuTriangleCounter,
+) -> RunMeasurement {
+    let prep = env.preprocessed(dataset, direction, ordering, bucket_size);
+    measure_prepped(env, &prep, algo)
 }
 
 #[cfg(test)]

@@ -1,0 +1,44 @@
+//! Acceptance: the parallel harness changes wall-clock only, never
+//! results. For every algorithm × dataset cell of the `algorithms`
+//! experiment, kernel cycle counts and triangle counts must be identical
+//! with 1 harness thread and with N.
+//!
+//! Single `#[test]` on purpose: `set_thread_override` is process-global,
+//! and tests within one binary run concurrently.
+
+use tc_bench::experiments::algorithms;
+use tc_bench::ExperimentEnv;
+use tc_datasets::Dataset;
+use tc_gpusim::pipeline::set_thread_override;
+use tc_gpusim::GpuConfig;
+
+#[test]
+fn algorithms_grid_is_thread_count_invariant() {
+    // Small GPU + the two smallest stand-ins keep the debug-build runtime
+    // in check; the grid shape (every algorithm × every dataset) matches
+    // the real experiment.
+    let mut gpu = GpuConfig::titan_xp_like();
+    gpu.num_sms = 4;
+    let suite = vec![Dataset::EmailEucore, Dataset::EmailEnron];
+
+    // Fresh env per pass so nothing is served from a cache warmed by the
+    // other pass.
+    set_thread_override(Some(1));
+    let serial = algorithms::run_gpu(&ExperimentEnv::with_gpu(gpu.clone()), &suite);
+
+    set_thread_override(Some(4));
+    let parallel = algorithms::run_gpu(&ExperimentEnv::with_gpu(gpu), &suite);
+    set_thread_override(None);
+
+    assert_eq!(serial.len(), parallel.len());
+    assert!(!serial.is_empty());
+    for ((s_algo, s_ds, s_ms, s_tri), (p_algo, p_ds, p_ms, p_tri)) in
+        serial.iter().zip(parallel.iter())
+    {
+        assert_eq!((s_algo, s_ds), (p_algo, p_ds), "grid order must be stable");
+        assert_eq!(s_tri, p_tri, "{s_algo} on {s_ds}: triangle count diverged");
+        // kernel_ms is a pure function of the simulated cycle count, so
+        // exact float equality is the right check here.
+        assert_eq!(s_ms, p_ms, "{s_algo} on {s_ds}: kernel cycles diverged");
+    }
+}

@@ -16,7 +16,7 @@ pub use ratio::{approximation_ratio_bound, RatioBound};
 use tc_graph::{orient_by_rank, CsrGraph, DirectedGraph};
 
 /// The edge-directing strategies the paper evaluates.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum DirectionScheme {
     /// Small vertex id → large vertex id.
     IdBased,

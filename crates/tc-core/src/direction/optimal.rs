@@ -33,10 +33,7 @@ pub fn optimal_direction_cost(g: &CsrGraph) -> f64 {
         if has_directed_triangle(g, &edges, mask) {
             continue;
         }
-        let cost: f64 = out_degree
-            .iter()
-            .map(|&d| (d as f64 - d_avg).abs())
-            .sum();
+        let cost: f64 = out_degree.iter().map(|&d| (d as f64 - d_avg).abs()).sum();
         best = best.min(cost);
     }
     best
@@ -69,7 +66,7 @@ fn has_directed_triangle(g: &CsrGraph, edges: &[(VertexId, VertexId)], mask: u32
                 let ab = !dir(e_ab); // true = a→b
                 let bc = !dir(e_bc); // true = b→c
                 let ac = !dir(e_ac); // true = a→c
-                // Loop a→b→c→a  or  a→c→b→a.
+                                     // Loop a→b→c→a  or  a→c→b→a.
                 if (ab && bc && !ac) || (!ab && !bc && ac) {
                     return true;
                 }
@@ -113,9 +110,9 @@ mod tests {
     #[test]
     fn a_direction_matches_optimum_on_small_graphs() {
         let cases: Vec<Vec<(u32, u32)>> = vec![
-            vec![(0, 1), (0, 2), (0, 3), (0, 4)],                   // star
-            vec![(0, 1), (1, 2), (2, 3), (3, 0)],                   // 4-cycle
-            vec![(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (2, 4)],   // two triangles
+            vec![(0, 1), (0, 2), (0, 3), (0, 4)],                 // star
+            vec![(0, 1), (1, 2), (2, 3), (3, 0)],                 // 4-cycle
+            vec![(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (2, 4)], // two triangles
         ];
         for (i, edges) in cases.iter().enumerate() {
             let n = edges.iter().map(|&(a, b)| a.max(b)).max().unwrap_or(0) as usize + 1;

@@ -56,7 +56,11 @@ pub fn calibrate_with_lengths(gpu: &GpuConfig, lengths: &[usize]) -> Calibration
         params: ModelParams {
             // Guard against degenerate sweeps (e.g. all compute-bound):
             // fall back to the analytic default slope.
-            lambda: if lambda.is_finite() && lambda > 0.0 { lambda } else { 2.0 },
+            lambda: if lambda.is_finite() && lambda > 0.0 {
+                lambda
+            } else {
+                2.0
+            },
             bw_curve,
         },
         profile,
@@ -76,11 +80,12 @@ fn fit_through_origin(points: &[(f64, f64)]) -> (f64, f64) {
     let lambda = sxy / sxx;
     let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / points.len().max(1) as f64;
     let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 = points
-        .iter()
-        .map(|(x, y)| (y - lambda * x).powi(2))
-        .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let ss_res: f64 = points.iter().map(|(x, y)| (y - lambda * x).powi(2)).sum();
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     (lambda, r2)
 }
 

@@ -59,7 +59,8 @@ impl BwCurve {
         let idx = self.points.partition_point(|&(len, _)| len <= d);
         let (x0, y0) = self.points[idx - 1];
         let (x1, y1) = self.points[idx];
-        let t = ((d as f64).log2() - (x0 as f64).log2()) / ((x1 as f64).log2() - (x0 as f64).log2());
+        let t =
+            ((d as f64).log2() - (x0 as f64).log2()) / ((x1 as f64).log2() - (x0 as f64).log2());
         y0 + t * (y1 - y0)
     }
 

@@ -105,7 +105,9 @@ mod tests {
     fn buckets_have_bounded_spread() {
         // After A-order, consecutive-k groups should have near-equal
         // mem_sup; verify the max |sum| shrinks versus degree order.
-        let degrees: Vec<usize> = (0..256).map(|i| if i % 2 == 0 { 1 } else { 4096 }).collect();
+        let degrees: Vec<usize> = (0..256)
+            .map(|i| if i % 2 == 0 { 1 } else { 4096 })
+            .collect();
         let params = ModelParams::default_analytic();
         let p = a_order_permutation(&degrees, &params, 8);
         let reordered = reorder_degrees(&p, &degrees);

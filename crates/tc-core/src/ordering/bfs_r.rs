@@ -71,11 +71,7 @@ fn recurse(
             }
         }
     }
-    let b: Vec<VertexId> = set
-        .iter()
-        .copied()
-        .filter(|&u| !in_a[u as usize])
-        .collect();
+    let b: Vec<VertexId> = set.iter().copied().filter(|&u| !in_a[u as usize]).collect();
     debug_assert_eq!(a.len() + b.len(), set.len());
 
     recurse(g, &a, order, member, version);
@@ -139,6 +135,9 @@ mod tests {
             .map(|(u, v)| (p.map(u) as i64 - p.map(v) as i64).unsigned_abs())
             .sum();
         let avg_gap = total_gap as f64 / g.num_edges() as f64;
-        assert!(avg_gap < 64.0, "bisection should keep locality, gap {avg_gap}");
+        assert!(
+            avg_gap < 64.0,
+            "bisection should keep locality, gap {avg_gap}"
+        );
     }
 }

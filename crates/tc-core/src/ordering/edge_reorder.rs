@@ -15,11 +15,7 @@ use tc_graph::DirectedGraph;
 /// `edges_per_block` is the number of consecutive work items one block
 /// consumes (warps per block × edges per warp in the kernel). Returns a
 /// permutation of edge ids (positions into the CSR edge array).
-pub fn a_order_edges(
-    g: &DirectedGraph,
-    params: &ModelParams,
-    edges_per_block: usize,
-) -> Vec<u32> {
+pub fn a_order_edges(g: &DirectedGraph, params: &ModelParams, edges_per_block: usize) -> Vec<u32> {
     let m = g.num_edges();
     if m == 0 {
         return Vec::new();
@@ -90,10 +86,7 @@ mod tests {
                 .map(|c| c.iter().map(|&e| work[e as usize] as u64).sum())
                 .collect();
             let mean = sums.iter().sum::<u64>() as f64 / sums.len() as f64;
-            sums.iter()
-                .map(|&s| (s as f64 - mean).abs())
-                .sum::<f64>()
-                / sums.len() as f64
+            sums.iter().map(|&s| (s as f64 - mean).abs()).sum::<f64>() / sums.len() as f64
         };
         let mut binned: Vec<u32> = (0..d.num_edges() as u32).collect();
         binned.sort_by_key(|&e| work[e as usize]);

@@ -32,7 +32,7 @@ pub struct OrderingContext<'a> {
 }
 
 /// The vertex-ordering strategies the paper evaluates.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum OrderingScheme {
     /// Keep the input labelling.
     #[default]

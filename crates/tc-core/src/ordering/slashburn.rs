@@ -13,7 +13,10 @@ pub const SLASH_FRACTION: f64 = 0.005;
 
 /// Computes the SlashBurn permutation with the default slash fraction.
 pub fn slashburn_permutation(g: &CsrGraph) -> Permutation {
-    slashburn_with_k(g, ((g.num_vertices() as f64 * SLASH_FRACTION) as usize).max(1))
+    slashburn_with_k(
+        g,
+        ((g.num_vertices() as f64 * SLASH_FRACTION) as usize).max(1),
+    )
 }
 
 /// SlashBurn with an explicit per-iteration hub count `k`.

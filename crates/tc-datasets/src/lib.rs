@@ -74,8 +74,20 @@ impl Dataset {
     pub fn all() -> Vec<Dataset> {
         use Dataset::*;
         vec![
-            EmailEucore, EmailEnron, EmailEuall, Gowalla, RoadCentral, SocPokec, SocLj,
-            ComLj, ComOrkut, CitPatent, WikiTopcats, KronLogn18, KronLogn21, SmallWorld,
+            EmailEucore,
+            EmailEnron,
+            EmailEuall,
+            Gowalla,
+            RoadCentral,
+            SocPokec,
+            SocLj,
+            ComLj,
+            ComOrkut,
+            CitPatent,
+            WikiTopcats,
+            KronLogn18,
+            KronLogn21,
+            SmallWorld,
         ]
     }
 
@@ -89,8 +101,16 @@ impl Dataset {
     pub fn table5_suite() -> Vec<Dataset> {
         use Dataset::*;
         vec![
-            SocLj, CitPatent, ComLj, ComOrkut, EmailEnron, EmailEuall, Gowalla,
-            WikiTopcats, KronLogn18, KronLogn21,
+            SocLj,
+            CitPatent,
+            ComLj,
+            ComOrkut,
+            EmailEnron,
+            EmailEuall,
+            Gowalla,
+            WikiTopcats,
+            KronLogn18,
+            KronLogn21,
         ]
     }
 
@@ -286,7 +306,11 @@ mod tests {
         let road = degree_stats(&load(Dataset::RoadCentral));
         let kron = degree_stats(&load(Dataset::KronLogn18));
         assert!(social.cv > 1.0, "social graphs are skewed: {}", social.cv);
-        assert!(kron.cv > 1.5, "Kronecker graphs are very skewed: {}", kron.cv);
+        assert!(
+            kron.cv > 1.5,
+            "Kronecker graphs are very skewed: {}",
+            kron.cv
+        );
         assert!(road.cv < 0.5, "road networks are uniform: {}", road.cv);
         assert!(road.max <= 8, "road max degree {}", road.max);
     }

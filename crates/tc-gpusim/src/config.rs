@@ -96,8 +96,14 @@ impl GpuConfig {
         assert!(self.num_sms >= 1, "need at least one SM");
         assert!(self.warps_per_block >= 1, "need at least one warp");
         assert!(self.blocks_per_sm >= 1, "need at least one block slot");
-        assert!(self.compute_throughput > 0.0, "compute throughput must be positive");
-        assert!(self.global_bw > 0.0 && self.shared_bw > 0.0, "bandwidth must be positive");
+        assert!(
+            self.compute_throughput > 0.0,
+            "compute throughput must be positive"
+        );
+        assert!(
+            self.global_bw > 0.0 && self.shared_bw > 0.0,
+            "bandwidth must be positive"
+        );
         assert!(self.clock_ghz > 0.0, "clock must be positive");
     }
 }

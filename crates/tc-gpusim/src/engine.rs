@@ -17,7 +17,8 @@
 use crate::config::GpuConfig;
 use crate::metrics::KernelMetrics;
 use crate::ops::WarpOp;
-use crate::trace::{BlockSource, BlockTrace};
+use crate::trace::{sync_count, BlockSource, BlockTrace};
+use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -55,14 +56,16 @@ struct Warp {
     barrier_arrival: u64,
 }
 
-struct Slot {
+struct Slot<'a> {
     sm: usize,
     /// Grid index of the resident block.
     block_idx: usize,
     /// Tick the resident block was loaded.
     block_start: u64,
-    /// Trace of the currently resident block (`None` = slot idle).
-    trace: Option<BlockTrace>,
+    /// Trace of the currently resident block (`None` = slot idle). Held as
+    /// a [`Cow`] so resident sources lend their traces and generators hand
+    /// over owned ones — neither is deep-copied on load.
+    trace: Option<Cow<'a, BlockTrace>>,
     /// Global warp-ids of the resident block's warps.
     warp_ids: Vec<usize>,
     warps_done: usize,
@@ -100,7 +103,7 @@ pub struct BlockEvent {
 struct Sim<'a, S: BlockSource + ?Sized> {
     source: &'a S,
     sms: Vec<Sm>,
-    slots: Vec<Slot>,
+    slots: Vec<Slot<'a>>,
     warps: Vec<Warp>,
     events: BinaryHeap<Reverse<(u64, u64, usize)>>,
     seq: u64,
@@ -109,6 +112,9 @@ struct Sim<'a, S: BlockSource + ?Sized> {
     metrics: KernelMetrics,
     /// Block lifetime log (only when event collection is requested).
     block_events: Option<Vec<BlockEvent>>,
+    /// Reusable buffer of warp ids released by a barrier. Kept on the sim
+    /// so barrier release is allocation-free in steady state.
+    barrier_scratch: Vec<usize>,
 }
 
 impl<'a, S: BlockSource + ?Sized> Sim<'a, S> {
@@ -148,7 +154,7 @@ impl<'a, S: BlockSource + ?Sized> Sim<'a, S> {
                  (kernel would deadlock)",
                 self.next_block - 1
             );
-            if trace.warps.iter().all(|w| w.ops.is_empty()) {
+            if trace.all_empty() {
                 self.kernel_end = self.kernel_end.max(now);
                 if let Some(log) = &mut self.block_events {
                     log.push(BlockEvent {
@@ -160,8 +166,8 @@ impl<'a, S: BlockSource + ?Sized> Sim<'a, S> {
                 }
                 continue;
             }
-            self.metrics.warps += trace.warps.len();
-            let participants = trace.warps.iter().filter(|w| w.sync_count() > 0).count();
+            self.metrics.warps += trace.num_warps();
+            let participants = trace.warps().filter(|w| sync_count(w) > 0).count();
             let block_idx = self.next_block - 1;
             let slot = &mut self.slots[slot_idx];
             slot.block_idx = block_idx;
@@ -172,14 +178,18 @@ impl<'a, S: BlockSource + ?Sized> Sim<'a, S> {
             slot.barrier_participants = participants;
             slot.warp_ids.clear();
             let mut pending = Vec::new();
-            for lane in 0..trace.warps.len() {
+            for lane in 0..trace.num_warps() {
                 let id = self.warps.len();
-                let empty = trace.warps[lane].ops.is_empty();
+                let empty = trace.warp(lane).is_empty();
                 self.warps.push(Warp {
                     block_slot: slot_idx,
                     lane,
                     pc: 0,
-                    state: if empty { WarpState::Done } else { WarpState::Runnable },
+                    state: if empty {
+                        WarpState::Done
+                    } else {
+                        WarpState::Runnable
+                    },
                     barrier_arrival: 0,
                 });
                 slot.warp_ids.push(id);
@@ -205,7 +215,7 @@ impl<'a, S: BlockSource + ?Sized> Sim<'a, S> {
         let lane = self.warps[wid].lane;
         let done = {
             let trace = self.slots[slot_idx].trace.as_ref().expect("resident block");
-            self.warps[wid].pc >= trace.warps[lane].ops.len()
+            self.warps[wid].pc >= trace.warp(lane).len()
         };
         if !done {
             self.push_event(ready, wid);
@@ -272,7 +282,12 @@ fn run<S: BlockSource + ?Sized>(
             blocks: num_blocks,
             ..Default::default()
         },
-        block_events: if collect_events { Some(Vec::new()) } else { None },
+        block_events: if collect_events {
+            Some(Vec::new())
+        } else {
+            None
+        },
+        barrier_scratch: Vec::new(),
     };
     if num_blocks == 0 {
         return (sim.metrics, sim.block_events);
@@ -291,7 +306,7 @@ fn run<S: BlockSource + ?Sized>(
         let sm_idx = sim.slots[slot_idx].sm;
         let op = {
             let trace = sim.slots[slot_idx].trace.as_ref().expect("resident block");
-            trace.warps[lane].ops[sim.warps[wid].pc]
+            trace.warp(lane)[sim.warps[wid].pc]
         };
 
         match op {
@@ -336,17 +351,24 @@ fn run<S: BlockSource + ?Sized>(
                     let release = slot.barrier_release;
                     slot.barrier_arrived = 0;
                     slot.barrier_release = 0;
-                    let warp_ids = slot.warp_ids.clone();
-                    for id in warp_ids {
+                    // Snapshot the resident warp ids into a reusable scratch
+                    // buffer: `finish_or_requeue` below may retire the block
+                    // and reload this very slot with the next grid block,
+                    // repopulating `warp_ids` mid-loop. The scratch lives on
+                    // the sim, so steady-state release allocates nothing.
+                    let mut scratch = std::mem::take(&mut sim.barrier_scratch);
+                    scratch.extend_from_slice(&sim.slots[slot_idx].warp_ids);
+                    for &id in &scratch {
                         if sim.warps[id].state == WarpState::AtBarrier {
-                            sim.metrics.barrier_wait_cycles += ticks_to_cycles_ceil(
-                                release - sim.warps[id].barrier_arrival,
-                            );
+                            sim.metrics.barrier_wait_cycles +=
+                                ticks_to_cycles_ceil(release - sim.warps[id].barrier_arrival);
                             sim.warps[id].state = WarpState::Runnable;
                             sim.warps[id].pc += 1;
                             sim.finish_or_requeue(id, release);
                         }
                     }
+                    scratch.clear();
+                    sim.barrier_scratch = scratch;
                 }
             }
         }
@@ -453,8 +475,16 @@ mod tests {
         // Compute serializes: A 0-10, B 10-210. Barrier releases at 210.
         // Post-barrier computes serialize: 210-220, 220-230.
         let m = run(vec![BlockTrace::new(vec![
-            WarpTrace::new(vec![WarpOp::Compute(10), WarpOp::BlockSync, WarpOp::Compute(10)]),
-            WarpTrace::new(vec![WarpOp::Compute(200), WarpOp::BlockSync, WarpOp::Compute(10)]),
+            WarpTrace::new(vec![
+                WarpOp::Compute(10),
+                WarpOp::BlockSync,
+                WarpOp::Compute(10),
+            ]),
+            WarpTrace::new(vec![
+                WarpOp::Compute(200),
+                WarpOp::BlockSync,
+                WarpOp::Compute(10),
+            ]),
         ])]);
         assert_eq!(m.kernel_cycles, 230);
         assert_eq!(m.barrier_arrivals, 2);
@@ -491,6 +521,26 @@ mod tests {
             WarpTrace::empty(),
         ])]);
         assert_eq!(m.kernel_cycles, 5);
+    }
+
+    /// Regression for the barrier-release path: when the released warps'
+    /// final op is the barrier itself, `finish_or_requeue` retires the
+    /// block and reloads the slot with the next grid block *while the
+    /// release loop is still walking the released ids*. The snapshot of
+    /// warp ids must keep pointing at the old block's warps.
+    #[test]
+    fn barrier_finishing_block_reloads_slot_safely() {
+        let a = BlockTrace::new(vec![
+            WarpTrace::new(vec![WarpOp::Compute(10), WarpOp::BlockSync]),
+            WarpTrace::new(vec![WarpOp::Compute(20), WarpOp::BlockSync]),
+        ]);
+        let b = BlockTrace::new(vec![WarpTrace::new(vec![WarpOp::Compute(5)])]);
+        // tiny() has 1 SM × 1 slot: compute serializes 0-10 / 10-30, the
+        // barrier releases at 30 finishing block a, block b runs 30-35.
+        let m = run(vec![a, b]);
+        assert_eq!(m.kernel_cycles, 35);
+        assert_eq!(m.blocks, 2);
+        assert_eq!(m.barrier_arrivals, 2);
     }
 
     #[test]
@@ -530,7 +580,9 @@ mod tests {
                 BlockTrace::new(vec![
                     WarpTrace::new(vec![
                         WarpOp::Compute(1 + i),
-                        WarpOp::GlobalAccess { segments: 1 + i % 7 },
+                        WarpOp::GlobalAccess {
+                            segments: 1 + i % 7,
+                        },
                         WarpOp::BlockSync,
                         WarpOp::Compute(5),
                     ]),

@@ -27,6 +27,7 @@ pub mod engine;
 pub mod metrics;
 pub mod occupancy;
 pub mod ops;
+pub mod pipeline;
 pub mod profiler;
 pub mod search;
 pub mod timeline;
@@ -36,7 +37,8 @@ pub use config::GpuConfig;
 pub use engine::{simulate, simulate_with_events, BlockEvent};
 pub use metrics::KernelMetrics;
 pub use ops::WarpOp;
-pub use trace::{BlockSource, BlockTrace, SliceBlockSource, WarpTrace};
+pub use pipeline::{simulate_pipelined, simulate_pipelined_auto, simulate_pipelined_with_events};
+pub use trace::{BlockSource, BlockTrace, BlockTraceBuilder, SliceBlockSource, WarpTrace};
 
 /// Simulated cycle count.
 pub type Cycles = u64;

@@ -54,7 +54,10 @@ pub fn max_blocks_per_sm(limits: &SmLimits, kernel: &KernelFootprint) -> u32 {
         .checked_div(kernel.shared_bytes_per_block)
         .unwrap_or(u32::MAX);
     let regs_per_block = kernel.registers_per_thread * kernel.warps_per_block * 32;
-    let by_regs = limits.registers.checked_div(regs_per_block).unwrap_or(u32::MAX);
+    let by_regs = limits
+        .registers
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
     let by_warps = limits
         .max_warps
         .checked_div(kernel.warps_per_block)

@@ -33,7 +33,10 @@ pub enum WarpOp {
 impl WarpOp {
     /// Whether this op touches a memory pipeline.
     pub fn is_memory(&self) -> bool {
-        matches!(self, WarpOp::GlobalAccess { .. } | WarpOp::SharedAccess { .. })
+        matches!(
+            self,
+            WarpOp::GlobalAccess { .. } | WarpOp::SharedAccess { .. }
+        )
     }
 }
 

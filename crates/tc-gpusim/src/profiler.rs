@@ -13,8 +13,9 @@ use crate::config::GpuConfig;
 use crate::engine::simulate;
 use crate::ops::WarpOp;
 use crate::search::{lockstep_binary_search, SearchCosts, SearchSpace};
-use crate::trace::{BlockSource, BlockTrace, WarpTrace};
+use crate::trace::{BlockSource, BlockTrace};
 use crate::VertexId32;
+use std::borrow::Cow;
 
 /// One measured point of the length sweep.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -67,34 +68,32 @@ impl BlockSource for SweepKernel {
         self.blocks
     }
 
-    fn block(&self, _idx: usize) -> BlockTrace {
-        let mut warps = Vec::with_capacity(self.warps_per_block);
+    fn block(&self, _idx: usize) -> Cow<'_, BlockTrace> {
+        let mut b = BlockTrace::builder();
         for _ in 0..self.warps_per_block {
-            let mut ops = Vec::new();
             for _ in 0..self.rounds {
                 // Stage the list cooperatively from global memory: the block
                 // streams `list_len` words, `ceil(len/32)` coalesced
                 // segments shared across warps; charge each warp its share.
-                let share =
-                    (self.list.len() as u64).div_ceil(32 * self.warps_per_block as u64);
-                ops.push(WarpOp::GlobalAccess {
+                let share = (self.list.len() as u64).div_ceil(32 * self.warps_per_block as u64);
+                b.ops_mut().push(WarpOp::GlobalAccess {
                     segments: share.max(1) as u32,
                 });
-                ops.push(WarpOp::BlockSync);
+                b.ops_mut().push(WarpOp::BlockSync);
                 let _ = lockstep_binary_search(
                     &self.list,
                     &self.keys,
                     SearchSpace::Shared,
                     &self.costs,
-                    &mut ops,
+                    b.ops_mut(),
                 );
                 if self.extra_compute > 0 {
-                    ops.push(WarpOp::Compute(self.extra_compute));
+                    b.ops_mut().push(WarpOp::Compute(self.extra_compute));
                 }
             }
-            warps.push(WarpTrace::new(ops));
+            b.end_warp();
         }
-        BlockTrace::new(warps)
+        Cow::Owned(b.finish())
     }
 }
 

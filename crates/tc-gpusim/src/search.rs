@@ -269,9 +269,7 @@ mod tests {
             &SearchCosts::default(),
             &mut ops,
         );
-        assert!(ops
-            .iter()
-            .any(|o| matches!(o, WarpOp::GlobalAccess { .. })));
+        assert!(ops.iter().any(|o| matches!(o, WarpOp::GlobalAccess { .. })));
     }
 
     #[test]

@@ -1,8 +1,47 @@
 //! Kernel traces: how algorithms describe their work to the engine.
+//!
+//! # Storage layout
+//!
+//! A [`BlockTrace`] stores all of its warps' ops in **one flat arena**
+//! (`Vec<WarpOp>`) plus a per-warp table of end offsets. Trace generation
+//! dominated by per-warp `Vec` allocations was the hottest host-side cost
+//! of the simulator; the arena turns a block's construction into at most
+//! two allocations regardless of warp count. Generators append ops through
+//! [`BlockTraceBuilder`] and seal warp boundaries with
+//! [`BlockTraceBuilder::end_warp`]; [`WarpTrace`] remains as a convenience
+//! wrapper for tests and hand-built traces.
 
 use crate::ops::WarpOp;
+use std::borrow::Cow;
 
-/// The op stream of one warp.
+/// Total compute cycles in a warp's op slice.
+pub fn compute_cycles(ops: &[WarpOp]) -> u64 {
+    ops.iter()
+        .map(|op| match op {
+            WarpOp::Compute(c) => *c as u64,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Total memory transactions (global + shared) in a warp's op slice.
+pub fn memory_transactions(ops: &[WarpOp]) -> u64 {
+    ops.iter()
+        .map(|op| match op {
+            WarpOp::GlobalAccess { segments } => *segments as u64,
+            WarpOp::SharedAccess { transactions } => *transactions as u64,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Number of `BlockSync` barriers in a warp's op slice.
+pub fn sync_count(ops: &[WarpOp]) -> usize {
+    ops.iter().filter(|op| **op == WarpOp::BlockSync).count()
+}
+
+/// The op stream of one warp (convenience wrapper; block storage itself is
+/// the flat arena in [`BlockTrace`]).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct WarpTrace {
     /// Operations in program order.
@@ -22,34 +61,21 @@ impl WarpTrace {
 
     /// Total compute cycles in this trace.
     pub fn compute_cycles(&self) -> u64 {
-        self.ops
-            .iter()
-            .map(|op| match op {
-                WarpOp::Compute(c) => *c as u64,
-                _ => 0,
-            })
-            .sum()
+        compute_cycles(&self.ops)
     }
 
     /// Total memory transactions (global + shared) in this trace.
     pub fn memory_transactions(&self) -> u64 {
-        self.ops
-            .iter()
-            .map(|op| match op {
-                WarpOp::GlobalAccess { segments } => *segments as u64,
-                WarpOp::SharedAccess { transactions } => *transactions as u64,
-                _ => 0,
-            })
-            .sum()
+        memory_transactions(&self.ops)
     }
 
     /// Number of `BlockSync` barriers this warp participates in.
     pub fn sync_count(&self) -> usize {
-        self.ops.iter().filter(|op| **op == WarpOp::BlockSync).count()
+        sync_count(&self.ops)
     }
 }
 
-/// The op streams of one block's warps.
+/// The op streams of one block's warps, stored as a flat arena.
 ///
 /// Every **non-empty** warp of a block must contain the same number of
 /// `BlockSync` ops — a real kernel deadlocks otherwise, and
@@ -58,27 +84,123 @@ impl WarpTrace {
 /// the first barrier).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BlockTrace {
-    /// One trace per warp in the block.
-    pub warps: Vec<WarpTrace>,
+    /// All warps' ops, concatenated in warp order.
+    ops: Vec<WarpOp>,
+    /// `ends[i]` is the exclusive end of warp `i`'s range in `ops`
+    /// (warp `i` starts where warp `i - 1` ends).
+    ends: Vec<u32>,
 }
 
 impl BlockTrace {
-    /// Builds from warp traces.
+    /// Builds from warp traces (flattening them into the arena).
     pub fn new(warps: Vec<WarpTrace>) -> Self {
-        Self { warps }
+        let mut b =
+            BlockTraceBuilder::with_capacity(warps.len(), warps.iter().map(|w| w.ops.len()).sum());
+        for w in &warps {
+            b.ops_mut().extend_from_slice(&w.ops);
+            b.end_warp();
+        }
+        b.finish()
+    }
+
+    /// A builder appending ops directly into the arena.
+    pub fn builder() -> BlockTraceBuilder {
+        BlockTraceBuilder::default()
+    }
+
+    /// Number of warps in the block.
+    pub fn num_warps(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Op slice of warp `i`.
+    pub fn warp(&self, i: usize) -> &[WarpOp] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.ops[start..self.ends[i] as usize]
+    }
+
+    /// Iterates over all warps' op slices.
+    pub fn warps(&self) -> impl Iterator<Item = &[WarpOp]> + '_ {
+        (0..self.num_warps()).map(|i| self.warp(i))
+    }
+
+    /// The whole arena (all warps' ops, concatenated).
+    pub fn all_ops(&self) -> &[WarpOp] {
+        &self.ops
+    }
+
+    /// Whether every warp is empty (the block is pure padding).
+    pub fn all_empty(&self) -> bool {
+        self.ops.is_empty()
     }
 
     /// Whether all non-empty warps agree on barrier count (kernel is
     /// deadlock-free). Empty padding warps are ignored.
     pub fn barriers_consistent(&self) -> bool {
-        let mut counts = self
-            .warps
-            .iter()
-            .filter(|w| !w.ops.is_empty())
-            .map(WarpTrace::sync_count);
+        let mut counts = self.warps().filter(|w| !w.is_empty()).map(sync_count);
         match counts.next() {
             None => true,
             Some(first) => counts.all(|c| c == first),
+        }
+    }
+}
+
+/// Incremental arena builder for [`BlockTrace`].
+///
+/// Push the current warp's ops into [`ops_mut`](Self::ops_mut), then seal
+/// the warp with [`end_warp`](Self::end_warp) (an immediate `end_warp`
+/// records an empty padding warp). The arena is never re-shuffled: building
+/// a block costs at most one allocation per backing vector, not one per
+/// warp.
+#[derive(Clone, Debug, Default)]
+pub struct BlockTraceBuilder {
+    ops: Vec<WarpOp>,
+    ends: Vec<u32>,
+}
+
+impl BlockTraceBuilder {
+    /// Pre-sizes the arena for `warps` warps and `ops` total ops.
+    pub fn with_capacity(warps: usize, ops: usize) -> Self {
+        Self {
+            ops: Vec::with_capacity(ops),
+            ends: Vec::with_capacity(warps),
+        }
+    }
+
+    /// The arena tail: ops pushed here belong to the warp currently being
+    /// built.
+    pub fn ops_mut(&mut self) -> &mut Vec<WarpOp> {
+        &mut self.ops
+    }
+
+    /// Seals the current warp at the arena's present length.
+    pub fn end_warp(&mut self) {
+        debug_assert!(
+            self.ops.len() <= u32::MAX as usize,
+            "block op arena overflow"
+        );
+        self.ends.push(self.ops.len() as u32);
+    }
+
+    /// Number of warps sealed so far.
+    pub fn num_warps(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Finishes the block.
+    ///
+    /// # Panics
+    /// Panics if ops were pushed after the last `end_warp` (they would
+    /// belong to no warp).
+    pub fn finish(self) -> BlockTrace {
+        assert_eq!(
+            self.ends.last().copied().unwrap_or(0) as usize,
+            self.ops.len(),
+            "ops pushed after the last end_warp()"
+        );
+        BlockTrace {
+            ops: self.ops,
+            ends: self.ends,
         }
     }
 }
@@ -90,16 +212,20 @@ impl BlockTrace {
 /// `num_sms × blocks_per_sm` traces at once. Implementations regenerate
 /// each block's ops from the graph — deterministic, so repeated calls with
 /// the same index must return the same trace.
+///
+/// Returning [`Cow`] lets resident sources ([`SliceBlockSource`], caches)
+/// lend their blocks without a deep copy, while generators hand over
+/// freshly built traces by value.
 pub trait BlockSource {
     /// Total number of blocks in the kernel grid.
     fn num_blocks(&self) -> usize;
 
     /// The trace of block `idx` (`0 <= idx < num_blocks()`).
-    fn block(&self, idx: usize) -> BlockTrace;
+    fn block(&self, idx: usize) -> Cow<'_, BlockTrace>;
 }
 
 /// A [`BlockSource`] over pre-materialized traces; convenient for tests and
-/// micro-benchmarks.
+/// micro-benchmarks. Blocks are lent to the engine, never cloned.
 #[derive(Clone, Debug)]
 pub struct SliceBlockSource {
     blocks: Vec<BlockTrace>,
@@ -117,8 +243,8 @@ impl BlockSource for SliceBlockSource {
         self.blocks.len()
     }
 
-    fn block(&self, idx: usize) -> BlockTrace {
-        self.blocks[idx].clone()
+    fn block(&self, idx: usize) -> Cow<'_, BlockTrace> {
+        Cow::Borrowed(&self.blocks[idx])
     }
 }
 
@@ -154,6 +280,63 @@ mod tests {
         let b = BlockTrace::new(vec![WarpTrace::new(vec![WarpOp::Compute(1)])]);
         let src = SliceBlockSource::new(vec![b.clone(), b.clone()]);
         assert_eq!(src.num_blocks(), 2);
-        assert_eq!(src.block(1), b);
+        assert_eq!(*src.block(1), b);
+    }
+
+    /// Regression (perf): resident sources lend blocks; `block()` must not
+    /// deep-copy the trace.
+    #[test]
+    fn slice_source_borrows_blocks() {
+        let b = BlockTrace::new(vec![WarpTrace::new(vec![WarpOp::Compute(1)])]);
+        let src = SliceBlockSource::new(vec![b]);
+        assert!(
+            matches!(src.block(0), Cow::Borrowed(_)),
+            "SliceBlockSource must lend resident blocks, not clone them"
+        );
+    }
+
+    #[test]
+    fn builder_matches_flattened_warps() {
+        let warps = vec![
+            WarpTrace::new(vec![WarpOp::Compute(1), WarpOp::BlockSync]),
+            WarpTrace::empty(),
+            WarpTrace::new(vec![
+                WarpOp::GlobalAccess { segments: 2 },
+                WarpOp::BlockSync,
+            ]),
+        ];
+        let mut b = BlockTrace::builder();
+        for w in &warps {
+            b.ops_mut().extend_from_slice(&w.ops);
+            b.end_warp();
+        }
+        let from_builder = b.finish();
+        assert_eq!(from_builder, BlockTrace::new(warps));
+        assert_eq!(from_builder.num_warps(), 3);
+        assert_eq!(from_builder.warp(1), &[]);
+        assert_eq!(from_builder.warp(2).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "after the last end_warp")]
+    fn builder_rejects_unsealed_ops() {
+        let mut b = BlockTrace::builder();
+        b.ops_mut().push(WarpOp::Compute(1));
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn arena_accessors_agree_with_warp_views() {
+        let warps = vec![
+            WarpTrace::new(vec![WarpOp::Compute(5)]),
+            WarpTrace::new(vec![WarpOp::SharedAccess { transactions: 3 }]),
+        ];
+        let t = BlockTrace::new(warps);
+        assert_eq!(t.all_ops().len(), 2);
+        assert!(!t.all_empty());
+        let collected: Vec<&[WarpOp]> = t.warps().collect();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(compute_cycles(collected[0]), 5);
+        assert_eq!(memory_transactions(collected[1]), 3);
     }
 }

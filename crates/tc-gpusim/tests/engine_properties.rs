@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use tc_gpusim::ops::WarpOp;
-use tc_gpusim::trace::{BlockTrace, SliceBlockSource, WarpTrace};
-use tc_gpusim::{simulate, GpuConfig};
+use tc_gpusim::trace::{self, BlockTrace, SliceBlockSource, WarpTrace};
+use tc_gpusim::{simulate, simulate_pipelined, simulate_pipelined_with_events, GpuConfig};
 
 /// Strategy: a random warp trace without barriers (barrier counts must
 /// agree across warps, handled separately).
@@ -26,11 +26,31 @@ fn arb_blocks(max_blocks: usize) -> impl Strategy<Value = Vec<BlockTrace>> {
     )
 }
 
+/// Strategy: random blocks where every warp additionally runs a common
+/// number of `BlockSync` barriers (consistency is required by the engine).
+fn arb_barrier_blocks(max_blocks: usize) -> impl Strategy<Value = Vec<BlockTrace>> {
+    prop::collection::vec(
+        (prop::collection::vec(arb_warp(8), 1..5), 0usize..3).prop_map(|(warps, syncs)| {
+            let warps = warps
+                .into_iter()
+                .map(|w| {
+                    let mut ops = w.ops;
+                    for _ in 0..syncs {
+                        ops.push(WarpOp::BlockSync);
+                    }
+                    WarpTrace::new(ops)
+                })
+                .collect();
+            BlockTrace::new(warps)
+        }),
+        0..max_blocks,
+    )
+}
+
 fn total_compute(blocks: &[BlockTrace]) -> u64 {
     blocks
         .iter()
-        .flat_map(|b| b.warps.iter())
-        .map(WarpTrace::compute_cycles)
+        .map(|b| trace::compute_cycles(b.all_ops()))
         .sum()
 }
 
@@ -75,14 +95,31 @@ proptest! {
     #[test]
     fn metrics_conserve_op_totals(blocks in arb_blocks(10)) {
         let compute: u64 = total_compute(&blocks);
-        let global: u64 = blocks.iter().flat_map(|b| b.warps.iter())
-            .flat_map(|w| w.ops.iter())
+        let global: u64 = blocks.iter().flat_map(|b| b.all_ops().iter())
             .map(|op| match op { WarpOp::GlobalAccess { segments } => *segments as u64, _ => 0 })
             .sum();
         let src = SliceBlockSource::new(blocks);
         let m = simulate(&GpuConfig::titan_xp_like(), &src);
         prop_assert_eq!(m.compute_cycles, compute);
         prop_assert_eq!(m.global_segments, global);
+    }
+
+    /// The parallel trace-generation pipeline is bit-for-bit identical to
+    /// the serial engine at every worker count: cycle counts, op totals,
+    /// barrier waits, and per-block lifetimes all match.
+    #[test]
+    fn pipelined_simulation_matches_serial(blocks in arb_barrier_blocks(16)) {
+        let gpu = GpuConfig::titan_xp_like();
+        let src = SliceBlockSource::new(blocks);
+        let serial = simulate(&gpu, &src);
+        for threads in [1usize, 2, 8] {
+            let piped = simulate_pipelined(&gpu, &src, threads);
+            prop_assert_eq!(&piped, &serial);
+        }
+        let (m1, e1) = tc_gpusim::simulate_with_events(&gpu, &src);
+        let (m2, e2) = simulate_pipelined_with_events(&gpu, &src, 8);
+        prop_assert_eq!(m1, m2);
+        prop_assert_eq!(e1, e2);
     }
 
     /// Appending one more non-empty block never reduces the makespan.

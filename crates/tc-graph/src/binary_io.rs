@@ -139,10 +139,7 @@ mod tests {
         // Flip a byte inside the adjacency region (breaks symmetry/sorting).
         let idx = buf.len() - 3;
         buf[idx] ^= 0xFF;
-        assert!(matches!(
-            read_binary(&buf[..]),
-            Err(BinError::Corrupt(_))
-        ));
+        assert!(matches!(read_binary(&buf[..]), Err(BinError::Corrupt(_))));
     }
 
     #[test]
@@ -151,9 +148,6 @@ mod tests {
         buf.extend_from_slice(MAGIC);
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
-        assert!(matches!(
-            read_binary(&buf[..]),
-            Err(BinError::Corrupt(_))
-        ));
+        assert!(matches!(read_binary(&buf[..]), Err(BinError::Corrupt(_))));
     }
 }

@@ -33,10 +33,7 @@ impl CsrGraph {
 
     /// Builds a graph from CSR arrays, validating every invariant —
     /// the entry point for untrusted input (e.g. deserialization).
-    pub fn try_from_parts(
-        offsets: Vec<usize>,
-        neighbors: Vec<VertexId>,
-    ) -> Result<Self, String> {
+    pub fn try_from_parts(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Result<Self, String> {
         let g = Self { offsets, neighbors };
         g.validate()?;
         Ok(g)

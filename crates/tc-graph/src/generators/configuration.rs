@@ -65,7 +65,8 @@ pub fn power_law_configuration(
     seed: u64,
 ) -> CsrGraph {
     let max_degree = (n as f64).sqrt() as usize * 4 + 8;
-    let degrees = power_law_degree_sequence(n, gamma, target_avg_degree, max_degree.min(n - 1), seed);
+    let degrees =
+        power_law_degree_sequence(n, gamma, target_avg_degree, max_degree.min(n - 1), seed);
     from_degree_sequence(&degrees, seed ^ 0x9e37_79b9_7f4a_7c15)
 }
 

@@ -173,8 +173,7 @@ mod tests {
     #[test]
     fn assortativity_signs_match_structure() {
         // Star: hub pairs exclusively with leaves → strongly negative.
-        let star =
-            GraphBuilder::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).build();
+        let star = GraphBuilder::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).build();
         let a = degree_assortativity(&star).expect("defined");
         assert!((a - -1.0).abs() < 1e-9, "star assortativity {a}");
 

@@ -111,7 +111,9 @@ fn random_permutation(n: usize, seed: u64) -> Permutation {
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();
     let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
     for i in (1..n).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % (i + 1);
         order.swap(i, j);
     }

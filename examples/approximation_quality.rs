@@ -56,7 +56,10 @@ fn main() {
         let alg = direction_cost(&DirectionScheme::ADirection.orient(&g));
         let ratio = if opt > 0.0 { alg / opt } else { 1.0 };
         println!("{name:<28} {opt:>8.2} {alg:>10.2} {ratio:>10.3}");
-        assert!(ratio <= 1.8 + 1e-9 || (alg - opt).abs() < 4.0, "ratio blew past the bound");
+        assert!(
+            ratio <= 1.8 + 1e-9 || (alg - opt).abs() < 4.0,
+            "ratio blew past the bound"
+        );
     }
     println!("\n(the paper proves the peeling ratio stays below 1.8 on power-law graphs)");
 }

@@ -48,9 +48,18 @@ fn main() {
 
     println!("\nRecalibrating the intensity model per GPU:");
     for (label, mutate) in [
-        ("titan-xp-like", Box::new(|_: &mut GpuConfig| {}) as Box<dyn Fn(&mut GpuConfig)>),
-        ("half bandwidth", Box::new(|g: &mut GpuConfig| g.global_bw /= 2.0)),
-        ("double compute", Box::new(|g: &mut GpuConfig| g.compute_throughput *= 2.0)),
+        (
+            "titan-xp-like",
+            Box::new(|_: &mut GpuConfig| {}) as Box<dyn Fn(&mut GpuConfig)>,
+        ),
+        (
+            "half bandwidth",
+            Box::new(|g: &mut GpuConfig| g.global_bw /= 2.0),
+        ),
+        (
+            "double compute",
+            Box::new(|g: &mut GpuConfig| g.compute_throughput *= 2.0),
+        ),
     ] {
         let mut gpu = GpuConfig::titan_xp_like();
         gpu.num_sms = 4; // calibration micro-kernels need no full GPU

@@ -13,7 +13,9 @@ use gpu_tc::datasets::{self, Dataset};
 use gpu_tc::gpusim::GpuConfig;
 
 fn main() {
-    let want = std::env::args().nth(1).unwrap_or_else(|| "kron-logn18".into());
+    let want = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "kron-logn18".into());
     let dataset = Dataset::all()
         .into_iter()
         .find(|d| d.name() == want)
@@ -60,7 +62,10 @@ fn main() {
         for dir in &directions {
             print!("{:>24}", dir.name());
             for ord in &orderings {
-                let prep = Preprocessor::new().direction(*dir).ordering(*ord).run(&graph);
+                let prep = Preprocessor::new()
+                    .direction(*dir)
+                    .ordering(*ord)
+                    .run(&graph);
                 let run = algo.count(prep.directed(), &gpu);
                 // Every combination must agree on the exact count.
                 match reference {

@@ -35,11 +35,37 @@ fn id_direction_is_much_slower_on_skewed_graphs() {
         Box::new(HuFineGrained::default()) as Box<dyn GpuTriangleCounter>,
         Box::new(Bisson::default()),
     ] {
-        let id = kernel_cycles(&g, DirectionScheme::IdBased, OrderingScheme::Original, algo.as_ref(), &gpu);
-        let deg = kernel_cycles(&g, DirectionScheme::DegreeBased, OrderingScheme::Original, algo.as_ref(), &gpu);
-        let a = kernel_cycles(&g, DirectionScheme::ADirection, OrderingScheme::Original, algo.as_ref(), &gpu);
-        assert!(id as f64 > 1.3 * deg as f64, "{}: ID {id} vs D {deg}", algo.name());
-        assert!(id as f64 > 1.3 * a as f64, "{}: ID {id} vs A {a}", algo.name());
+        let id = kernel_cycles(
+            &g,
+            DirectionScheme::IdBased,
+            OrderingScheme::Original,
+            algo.as_ref(),
+            &gpu,
+        );
+        let deg = kernel_cycles(
+            &g,
+            DirectionScheme::DegreeBased,
+            OrderingScheme::Original,
+            algo.as_ref(),
+            &gpu,
+        );
+        let a = kernel_cycles(
+            &g,
+            DirectionScheme::ADirection,
+            OrderingScheme::Original,
+            algo.as_ref(),
+            &gpu,
+        );
+        assert!(
+            id as f64 > 1.3 * deg as f64,
+            "{}: ID {id} vs D {deg}",
+            algo.name()
+        );
+        assert!(
+            id as f64 > 1.3 * a as f64,
+            "{}: ID {id} vs A {a}",
+            algo.name()
+        );
     }
 }
 
@@ -50,8 +76,20 @@ fn a_direction_not_worse_on_bisson() {
     let g = gpu_tc::datasets::load(Dataset::Gowalla);
     let gpu = GpuConfig::titan_xp_like();
     let algo = Bisson::default();
-    let deg = kernel_cycles(&g, DirectionScheme::DegreeBased, OrderingScheme::Original, &algo, &gpu);
-    let a = kernel_cycles(&g, DirectionScheme::ADirection, OrderingScheme::Original, &algo, &gpu);
+    let deg = kernel_cycles(
+        &g,
+        DirectionScheme::DegreeBased,
+        OrderingScheme::Original,
+        &algo,
+        &gpu,
+    );
+    let a = kernel_cycles(
+        &g,
+        DirectionScheme::ADirection,
+        OrderingScheme::Original,
+        &algo,
+        &gpu,
+    );
     assert!(a <= deg, "A-direction {a} vs D-direction {deg}");
 }
 
@@ -62,11 +100,35 @@ fn ordering_effects_on_hu() {
     let g = gpu_tc::datasets::load(Dataset::KronLogn18);
     let gpu = GpuConfig::titan_xp_like();
     let algo = HuFineGrained::default();
-    let orig = kernel_cycles(&g, DirectionScheme::DegreeBased, OrderingScheme::Original, &algo, &gpu);
-    let d_ord = kernel_cycles(&g, DirectionScheme::DegreeBased, OrderingScheme::DegreeOrder, &algo, &gpu);
-    let a_ord = kernel_cycles(&g, DirectionScheme::DegreeBased, OrderingScheme::AOrder, &algo, &gpu);
-    assert!(d_ord as f64 > 1.2 * orig as f64, "D-order {d_ord} vs original {orig}");
-    assert!((a_ord as f64) < 0.95 * orig as f64, "A-order {a_ord} vs original {orig}");
+    let orig = kernel_cycles(
+        &g,
+        DirectionScheme::DegreeBased,
+        OrderingScheme::Original,
+        &algo,
+        &gpu,
+    );
+    let d_ord = kernel_cycles(
+        &g,
+        DirectionScheme::DegreeBased,
+        OrderingScheme::DegreeOrder,
+        &algo,
+        &gpu,
+    );
+    let a_ord = kernel_cycles(
+        &g,
+        DirectionScheme::DegreeBased,
+        OrderingScheme::AOrder,
+        &algo,
+        &gpu,
+    );
+    assert!(
+        d_ord as f64 > 1.2 * orig as f64,
+        "D-order {d_ord} vs original {orig}"
+    );
+    assert!(
+        (a_ord as f64) < 0.95 * orig as f64,
+        "A-order {a_ord} vs original {orig}"
+    );
 }
 
 /// Figure 10 / Section 6.2: binary search beats sort-merge on both hosts.
@@ -107,9 +169,18 @@ fn tuned_algorithms_beat_the_naive_baseline() {
         .direction(DirectionScheme::DegreeBased)
         .ordering(OrderingScheme::Original)
         .run(&g);
-    let polak = Polak::default().count(prep.directed(), &gpu).metrics.kernel_cycles;
-    let tricore = TriCore::default().count(prep.directed(), &gpu).metrics.kernel_cycles;
-    let gunrock = Gunrock::binary_search().count(prep.directed(), &gpu).metrics.kernel_cycles;
+    let polak = Polak::default()
+        .count(prep.directed(), &gpu)
+        .metrics
+        .kernel_cycles;
+    let tricore = TriCore::default()
+        .count(prep.directed(), &gpu)
+        .metrics
+        .kernel_cycles;
+    let gunrock = Gunrock::binary_search()
+        .count(prep.directed(), &gpu)
+        .metrics
+        .kernel_cycles;
     assert!(tricore < polak, "TriCore {tricore} vs Polak {polak}");
     assert!(gunrock < polak, "Gunrock {gunrock} vs Polak {polak}");
 }

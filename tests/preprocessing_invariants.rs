@@ -104,7 +104,11 @@ fn a_order_minimizes_equation_3_on_corpus() {
         let directed = DirectionScheme::DegreeBased.orient(&g);
         let out_degrees = directed.out_degrees();
         let k = 64;
-        let ctx = OrderingContext { out_degrees: &out_degrees, params: &params, bucket_size: k };
+        let ctx = OrderingContext {
+            out_degrees: &out_degrees,
+            params: &params,
+            bucket_size: k,
+        };
 
         let cost_of = |scheme: OrderingScheme| {
             let p = scheme.permutation(&g, &ctx);
@@ -117,7 +121,15 @@ fn a_order_minimizes_equation_3_on_corpus() {
         let a = cost_of(OrderingScheme::AOrder);
         let orig = cost_of(OrderingScheme::Original);
         let d_ord = cost_of(OrderingScheme::DegreeOrder);
-        assert!(a <= orig, "{}: A-order {a} vs original {orig}", dataset.name());
-        assert!(a <= d_ord, "{}: A-order {a} vs D-order {d_ord}", dataset.name());
+        assert!(
+            a <= orig,
+            "{}: A-order {a} vs original {orig}",
+            dataset.name()
+        );
+        assert!(
+            a <= d_ord,
+            "{}: A-order {a} vs D-order {d_ord}",
+            dataset.name()
+        );
     }
 }

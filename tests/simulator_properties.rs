@@ -62,17 +62,13 @@ fn faster_memory_never_hurts() {
 fn counts_are_invariant_to_hardware() {
     let g = power_law_configuration(500, 2.2, 7.0, 21);
     let d = DirectionScheme::ADirection.orient(&g);
-    let configs = [
-        GpuConfig::tiny(),
-        GpuConfig::titan_xp_like(),
-        {
-            let mut c = GpuConfig::titan_xp_like();
-            c.num_sms = 7;
-            c.warps_per_block = 3;
-            c.global_latency = 37;
-            c
-        },
-    ];
+    let configs = [GpuConfig::tiny(), GpuConfig::titan_xp_like(), {
+        let mut c = GpuConfig::titan_xp_like();
+        c.num_sms = 7;
+        c.warps_per_block = 3;
+        c.global_latency = 37;
+        c
+    }];
     let mut counts = Vec::new();
     for gpu in &configs {
         counts.push(HuFineGrained::default().count(&d, gpu).triangles);
