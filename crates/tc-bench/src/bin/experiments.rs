@@ -6,8 +6,8 @@
 //!
 //! `<id>` ∈ {table2, table3, table5, table6, fig7, fig8, fig9, fig10,
 //! fig11, fig12, fig13, fig14, fig15, fig16, ablation, algorithms,
-//! bench-pipeline, all}. `--small` substitutes the small dataset suite
-//! for a quick smoke run.
+//! bench-pipeline, serve-bench, all}. `--small` substitutes the small
+//! dataset suite for a quick smoke run.
 //!
 //! Experiment grids and trace generation run on all cores by default;
 //! set `TC_PIPELINE_THREADS=1` for a fully serial harness. Each
@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 use tc_bench::experiments::*;
-use tc_bench::{pipeline_bench, ExperimentEnv};
+use tc_bench::{pipeline_bench, serve_bench, ExperimentEnv};
 use tc_datasets::Dataset;
 
 struct Cli {
@@ -128,6 +128,18 @@ impl Cli {
                     }
                 }
             }
+            "serve-bench" => {
+                let rows = serve_bench::run(self.small);
+                println!("{}", serve_bench::render(&rows));
+                let json = serve_bench::to_json(&rows);
+                match std::fs::write("BENCH_service.json", &json) {
+                    Ok(()) => eprintln!("wrote BENCH_service.json"),
+                    Err(e) => {
+                        eprintln!("could not write BENCH_service.json: {e}");
+                        return false;
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown experiment id: {other}");
                 return false;
@@ -177,7 +189,7 @@ fn main() {
         .collect();
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments <{}|bench-pipeline|all> [--small]",
+            "usage: experiments <{}|bench-pipeline|serve-bench|all> [--small]",
             ALL.join("|")
         );
         std::process::exit(2);

@@ -13,5 +13,6 @@ pub mod fmt;
 pub mod grid;
 pub mod pipeline_bench;
 pub mod runner;
+pub mod serve_bench;
 
 pub use runner::{ExperimentEnv, RunMeasurement};

@@ -1,0 +1,303 @@
+//! Service load benchmark: cold-cache vs warm-cache throughput.
+//!
+//! Drives a real in-process `tc-service` server over TCP with N client
+//! threads issuing `count` queries, in two passes per dataset:
+//!
+//! - **cold** — the server runs with a **zero registry budget**, so every
+//!   query recomputes the A-direction/A-order preprocessing (the cost an
+//!   unamortised one-shot pipeline pays on every request);
+//! - **warm** — a normally-budgeted server answers the same load from the
+//!   registry after one warm-up query.
+//!
+//! The ratio is the point of the serving layer: preprocessing paid once
+//! and amortised. `experiments -- serve-bench` renders the table and
+//! writes `BENCH_service.json` (acceptance target: warm ≥ 5× cold).
+//! Latency quantiles are computed client-side from the full sorted
+//! per-request latency vector — exact, unlike the log₂ histogram the
+//! server's own `stats` op serves.
+
+use crate::fmt::Table;
+use std::time::{Duration, Instant};
+use tc_datasets::Dataset;
+use tc_service::client::ServiceClient;
+use tc_service::server::{spawn, ServerConfig};
+
+/// One measured load pass.
+#[derive(Clone, Copy, Debug)]
+pub struct PassStats {
+    /// Requests completed.
+    pub requests: usize,
+    /// End-to-end wall-clock of the pass.
+    pub wall_s: f64,
+    /// Requests per second.
+    pub throughput_rps: f64,
+    /// Median request latency (µs).
+    pub p50_us: u64,
+    /// 99th-percentile request latency (µs).
+    pub p99_us: u64,
+}
+
+/// Cold + warm passes for one dataset.
+#[derive(Clone, Debug)]
+pub struct ServeBenchRow {
+    /// Dataset wire name.
+    pub dataset: String,
+    /// Client connections driving load.
+    pub clients: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Zero-budget (recompute-every-query) pass.
+    pub cold: PassStats,
+    /// Budgeted (cache-hit) pass.
+    pub warm: PassStats,
+}
+
+impl ServeBenchRow {
+    /// Warm / cold throughput ratio — the amortisation win.
+    pub fn speedup(&self) -> f64 {
+        if self.cold.throughput_rps > 0.0 {
+            self.warm.throughput_rps / self.cold.throughput_rps
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Latency quantile from a sorted sample vector (exact, nearest-rank).
+fn quantile_us(sorted: &[Duration], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_micros() as u64
+}
+
+/// Runs one pass: `clients` threads each issuing `per_client` count
+/// queries against `addr`.
+fn run_pass(
+    addr: std::net::SocketAddr,
+    dataset: Dataset,
+    clients: usize,
+    per_client: usize,
+) -> PassStats {
+    let query = format!(r#"{{"op":"count","dataset":"{}"}}"#, dataset.name());
+    let t = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let query = &query;
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("connect");
+                    (0..per_client)
+                        .map(|_| {
+                            let t = Instant::now();
+                            let response = client.request_raw(query).expect("query");
+                            assert!(
+                                response.contains("\"ok\":true"),
+                                "bench query failed: {response}"
+                            );
+                            t.elapsed()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_s = t.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    PassStats {
+        requests,
+        wall_s,
+        throughput_rps: if wall_s > 0.0 {
+            requests as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_us: quantile_us(&latencies, 0.50),
+        p99_us: quantile_us(&latencies, 0.99),
+    }
+}
+
+/// The benchmarked datasets: preprocessing-heavy relative to their count
+/// cost, so the cache either pays off or the serving layer is broken.
+pub fn default_suite() -> Vec<Dataset> {
+    vec![Dataset::RoadCentral, Dataset::EmailEnron]
+}
+
+/// Runs the benchmark. `small` trims to one dataset and a lighter load.
+pub fn run(small: bool) -> Vec<ServeBenchRow> {
+    let suite = if small {
+        vec![Dataset::EmailEnron]
+    } else {
+        default_suite()
+    };
+    let clients = 4;
+    let per_client = if small { 4 } else { 8 };
+    let workers = 4;
+
+    suite
+        .into_iter()
+        .map(|dataset| {
+            // Cold: zero budget — the registry admits nothing, every
+            // query pays direction + ordering + rebuild.
+            let cold_server = spawn(ServerConfig {
+                workers,
+                registry_budget: 0,
+                ..ServerConfig::default()
+            })
+            .expect("bind cold server");
+            let cold = run_pass(cold_server.addr(), dataset, clients, per_client);
+            cold_server.shutdown();
+
+            // Warm: default budget, one warm-up query, then the same load.
+            let warm_server = spawn(ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            })
+            .expect("bind warm server");
+            let mut warmup = ServiceClient::connect(warm_server.addr()).expect("connect");
+            warmup
+                .request_ok(&format!(
+                    r#"{{"op":"load","dataset":"{}"}}"#,
+                    dataset.name()
+                ))
+                .expect("warm-up load");
+            let warm = run_pass(warm_server.addr(), dataset, clients, per_client);
+            warm_server.shutdown();
+
+            ServeBenchRow {
+                dataset: dataset.name().to_string(),
+                clients,
+                workers,
+                cold,
+                warm,
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparison as a text table.
+pub fn render(rows: &[ServeBenchRow]) -> String {
+    let mut t = Table::new([
+        "dataset",
+        "pass",
+        "requests",
+        "wall s",
+        "rps",
+        "p50 µs",
+        "p99 µs",
+        "warm/cold",
+    ]);
+    for row in rows {
+        for (pass, stats) in [("cold", &row.cold), ("warm", &row.warm)] {
+            t.row([
+                row.dataset.clone(),
+                pass.to_string(),
+                stats.requests.to_string(),
+                format!("{:.2}", stats.wall_s),
+                format!("{:.1}", stats.throughput_rps),
+                stats.p50_us.to_string(),
+                stats.p99_us.to_string(),
+                if pass == "warm" {
+                    format!("{:.1}x", row.speedup())
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+    }
+    format!(
+        "Service load benchmark ({} clients, {} workers; cold = zero-budget registry)\n{}",
+        rows.first().map_or(0, |r| r.clients),
+        rows.first().map_or(0, |r| r.workers),
+        t.render()
+    )
+}
+
+/// Machine-readable form (hand-rolled JSON; the workspace has no serde).
+pub fn to_json(rows: &[ServeBenchRow]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pass = |s: &PassStats| {
+        format!(
+            "{{\"requests\": {}, \"wall_s\": {:.4}, \"throughput_rps\": {:.3}, \
+             \"p50_us\": {}, \"p99_us\": {}}}",
+            s.requests, s.wall_s, s.throughput_rps, s.p50_us, s.p99_us
+        )
+    };
+    let mut out = format!(
+        "{{\n  \"benchmark\": \"service-cold-vs-warm\",\n  \"cores\": {cores},\n  \"datasets\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"clients\": {}, \"workers\": {}, \
+             \"cold\": {}, \"warm\": {}, \"warm_over_cold\": {:.3}}}{}\n",
+            r.dataset,
+            r.clients,
+            r.workers,
+            pass(&r.cold),
+            pass(&r.warm),
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(rps: f64) -> PassStats {
+        PassStats {
+            requests: 32,
+            wall_s: 1.0,
+            throughput_rps: rps,
+            p50_us: 100,
+            p99_us: 900,
+        }
+    }
+
+    #[test]
+    fn json_shape_is_valid() {
+        let rows = vec![ServeBenchRow {
+            dataset: "road_central".into(),
+            clients: 4,
+            workers: 4,
+            cold: stats(2.0),
+            warm: stats(20.0),
+        }];
+        let json = to_json(&rows);
+        assert!(json.contains("\"warm_over_cold\": 10.000"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"dataset\"").count(), 1);
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(quantile_us(&samples, 0.50), 50);
+        assert_eq!(quantile_us(&samples, 0.99), 99);
+        assert_eq!(quantile_us(&samples, 1.0), 100);
+        assert_eq!(quantile_us(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn speedup_handles_zero_cold_throughput() {
+        let row = ServeBenchRow {
+            dataset: "x".into(),
+            clients: 1,
+            workers: 1,
+            cold: stats(0.0),
+            warm: stats(10.0),
+        };
+        assert_eq!(row.speedup(), 0.0);
+    }
+}

@@ -71,6 +71,17 @@ impl PreprocessResult {
     pub fn out_degrees(&self) -> &[usize] {
         &self.out_degrees
     }
+
+    /// Approximate resident size of this result in bytes: the reordered
+    /// CSR, the oriented CSR, the permutation, and the out-degree
+    /// profile. Cache layers (the `tc-service` registry) charge entries
+    /// against a byte budget with this estimate.
+    pub fn approx_bytes(&self) -> usize {
+        self.reordered.approx_bytes()
+            + self.directed.approx_bytes()
+            + self.permutation.approx_bytes()
+            + self.out_degrees.len() * std::mem::size_of::<usize>()
+    }
 }
 
 /// Builder composing an edge-directing scheme with a vertex-ordering

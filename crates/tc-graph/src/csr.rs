@@ -112,6 +112,14 @@ impl CsrGraph {
         self.num_edges() as f64 / self.num_vertices() as f64
     }
 
+    /// Approximate resident size of the CSR arrays in bytes. Used by
+    /// cache byte-budget accounting (e.g. the `tc-service` registry);
+    /// intentionally ignores allocator slack and the struct header.
+    pub fn approx_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+    }
+
     /// Raw CSR offsets (length `num_vertices() + 1`).
     pub fn offsets(&self) -> &[usize] {
         &self.offsets

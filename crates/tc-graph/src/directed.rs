@@ -56,6 +56,13 @@ impl DirectedGraph {
         &self.out_neighbors[self.offsets[u]..self.offsets[u + 1]]
     }
 
+    /// Approximate resident size of the out-CSR arrays in bytes (cache
+    /// byte-budget accounting; ignores allocator slack).
+    pub fn approx_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.out_neighbors.len() * std::mem::size_of::<VertexId>()
+    }
+
     /// Whether the directed edge `u -> v` exists.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         self.out_neighbors(u).binary_search(&v).is_ok()

@@ -65,6 +65,12 @@ impl Permutation {
         self.old_to_new.is_empty()
     }
 
+    /// Approximate resident size of the mapping in bytes (cache
+    /// byte-budget accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.old_to_new.len() * std::mem::size_of::<VertexId>()
+    }
+
     /// New id of an old vertex.
     #[inline]
     pub fn map(&self, old: VertexId) -> VertexId {

@@ -1,0 +1,73 @@
+//! A minimal blocking client for the newline-delimited JSON protocol.
+//!
+//! One request line in, one response line out, in order. Used by the
+//! e2e tests, the `serve-bench` load generator, and the
+//! `service_demo` example; also a reference implementation for clients
+//! in other languages (the protocol is just lines of JSON).
+
+use crate::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client.
+pub struct ServiceClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ServiceClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    /// Sends one raw request line and returns the raw response line
+    /// (no trailing newline).
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Sends one request and parses the response JSON.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Json> {
+        let raw = self.request_raw(line)?;
+        json::parse(&raw).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable response: {e}"),
+            )
+        })
+    }
+
+    /// Sends a request and returns `Ok(payload)` if the server answered
+    /// `"ok":true`, else the protocol error code as `Err`.
+    pub fn request_ok(&mut self, line: &str) -> std::io::Result<Json> {
+        let v = self.request(line)?;
+        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(v)
+        } else {
+            let code = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("malformed error response")
+                .to_string();
+            let message = v.get("message").and_then(Json::as_str).unwrap_or("");
+            Err(std::io::Error::other(format!("{code}: {message}")))
+        }
+    }
+}

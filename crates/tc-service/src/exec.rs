@@ -1,0 +1,391 @@
+//! Query execution: turns a validated [`Request`] into a response
+//! payload, against the shared registry / simulator / metrics state.
+//!
+//! Every payload a *query* op returns is a deterministic function of the
+//! request (exact counts, simulated cycles, scores) — no wall-clock
+//! fields — so concurrent executions are byte-identical to serial ones.
+//! The admin `stats` op is the designated non-deterministic surface.
+
+use crate::json::{obj, s, u, Json};
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{ErrorKind, Op, PrepTarget, Request, ServiceError};
+use crate::registry::GraphRegistry;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+use tc_algos::{
+    bisson::Bisson, fox::Fox, gunrock::Gunrock, hu::HuFineGrained, polak::Polak, tricore::TriCore,
+    GpuTriangleCounter, RunResult,
+};
+use tc_gpusim::GpuConfig;
+
+/// Response payload: ordered members appended after `id`/`ok`/`op`.
+pub type Payload = Vec<(String, Json)>;
+
+/// Static configuration echoed on the `stats` surface.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerInfo {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bounded request-queue capacity.
+    pub queue_capacity: usize,
+    /// Default per-query deadline in milliseconds.
+    pub default_deadline_ms: u64,
+}
+
+/// Shared immutable state every worker executes against.
+pub struct Executor {
+    /// The simulated GPU all `simulate` queries run on.
+    pub gpu: GpuConfig,
+    /// The preprocessed-graph registry.
+    pub registry: Arc<GraphRegistry>,
+    /// The metrics the `stats` op snapshots.
+    pub metrics: Arc<ServiceMetrics>,
+    /// Static server configuration.
+    pub info: ServerInfo,
+    /// Server start time (for the `stats` uptime field).
+    pub started: Instant,
+}
+
+/// The kernel names `simulate` accepts.
+pub const ALGO_NAMES: [&str; 6] = ["polak", "gunrock", "tricore", "bisson", "fox", "hu"];
+
+fn run_named_kernel(
+    algo: &str,
+    prep: &tc_core::PreprocessResult,
+    gpu: &GpuConfig,
+) -> Option<RunResult> {
+    let directed = prep.directed();
+    match algo {
+        "polak" => Some(Polak::default().count(directed, gpu)),
+        "gunrock" => Some(Gunrock::default().count(directed, gpu)),
+        "tricore" => Some(TriCore::default().count(directed, gpu)),
+        "bisson" => Some(Bisson::default().count(directed, gpu)),
+        "fox" => Some(Fox::default().count(directed, gpu)),
+        "hu" => Some(HuFineGrained::default().count(directed, gpu)),
+        _ => None,
+    }
+}
+
+fn target_members(t: &PrepTarget) -> Payload {
+    vec![
+        ("dataset".into(), s(t.dataset.name())),
+        ("direction".into(), s(t.direction.name())),
+        ("ordering".into(), s(t.ordering.name())),
+    ]
+}
+
+impl Executor {
+    /// Executes one request, returning the success payload or a
+    /// structured error.
+    pub fn execute(&self, request: &Request) -> Result<Payload, ServiceError> {
+        match request {
+            Request::Ping => Ok(vec![("pong".into(), Json::Bool(true))]),
+            Request::Sleep(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(*ms));
+                Ok(vec![("slept_ms".into(), u(*ms))])
+            }
+            Request::Count(target) => {
+                // The triangle count is memoised on the cache entry: the
+                // first `count` per cached prep computes, repeats look up.
+                let entry = self.registry.entry(*target);
+                let prep = entry.prep();
+                let mut payload = target_members(target);
+                payload.push(("nodes".into(), u(prep.graph().num_vertices() as u64)));
+                payload.push(("edges".into(), u(prep.graph().num_edges() as u64)));
+                payload.push(("triangles".into(), u(entry.triangles())));
+                Ok(payload)
+            }
+            Request::Simulate(target, algo) => {
+                let prep = self.registry.preprocessed(*target);
+                let run = run_named_kernel(algo, &prep, &self.gpu).ok_or_else(|| {
+                    ServiceError::new(
+                        ErrorKind::UnknownAlgo,
+                        format!(
+                            "unknown algo \"{algo}\" (expected one of {})",
+                            ALGO_NAMES.join(", ")
+                        ),
+                    )
+                })?;
+                let mut payload = target_members(target);
+                payload.push(("algo".into(), s(algo.clone())));
+                payload.push(("triangles".into(), u(run.triangles)));
+                payload.push(("kernel_cycles".into(), u(run.metrics.kernel_cycles)));
+                payload.push(("kernel_ms".into(), Json::Float(run.kernel_ms(&self.gpu))));
+                payload.push(("blocks".into(), u(run.metrics.blocks as u64)));
+                payload.push(("warps".into(), u(run.metrics.warps as u64)));
+                payload.push(("global_segments".into(), u(run.metrics.global_segments)));
+                payload.push((
+                    "shared_transactions".into(),
+                    u(run.metrics.shared_transactions),
+                ));
+                payload.push((
+                    "barrier_wait_cycles".into(),
+                    u(run.metrics.barrier_wait_cycles),
+                ));
+                Ok(payload)
+            }
+            Request::Ktruss(dataset) => {
+                let g = self.registry.graph(*dataset);
+                let trussness = tc_apps::ktruss_decomposition(&g);
+                // Deterministic summary: edges per truss level, ascending.
+                let mut levels: BTreeMap<u32, u64> = BTreeMap::new();
+                for &k in trussness.values() {
+                    *levels.entry(k).or_insert(0) += 1;
+                }
+                let max_truss = levels.keys().next_back().copied().unwrap_or(0);
+                let level_rows: Vec<Json> = levels
+                    .into_iter()
+                    .map(|(k, edges)| obj(vec![("k", u(k as u64)), ("edges", u(edges))]))
+                    .collect();
+                Ok(vec![
+                    ("dataset".into(), s(dataset.name())),
+                    ("max_truss".into(), u(max_truss as u64)),
+                    ("levels".into(), Json::Arr(level_rows)),
+                ])
+            }
+            Request::Clustering(dataset) => {
+                let g = self.registry.graph(*dataset);
+                let local = tc_apps::clustering_coefficients(&g);
+                let mean_local = if local.is_empty() {
+                    0.0
+                } else {
+                    local.iter().sum::<f64>() / local.len() as f64
+                };
+                Ok(vec![
+                    ("dataset".into(), s(dataset.name())),
+                    ("nodes".into(), u(g.num_vertices() as u64)),
+                    (
+                        "global_coefficient".into(),
+                        Json::Float(tc_apps::global_clustering_coefficient(&g)),
+                    ),
+                    ("mean_local_coefficient".into(), Json::Float(mean_local)),
+                ])
+            }
+            Request::Recommend { dataset, source, k } => {
+                let g = self.registry.graph(*dataset);
+                if (*source as usize) >= g.num_vertices() {
+                    return Err(ServiceError::new(
+                        ErrorKind::Failed,
+                        format!(
+                            "vertex {source} out of range (dataset has {} vertices)",
+                            g.num_vertices()
+                        ),
+                    ));
+                }
+                let scores = tc_apps::recommend_for(&g, *source, *k);
+                let rows: Vec<Json> = scores
+                    .iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("candidate", u(r.candidate as u64)),
+                            ("common_neighbors", u(r.common_neighbors as u64)),
+                            ("jaccard", Json::Float(r.jaccard)),
+                            ("adamic_adar", Json::Float(r.adamic_adar)),
+                        ])
+                    })
+                    .collect();
+                Ok(vec![
+                    ("dataset".into(), s(dataset.name())),
+                    ("source".into(), u(*source as u64)),
+                    ("candidates".into(), Json::Arr(rows)),
+                ])
+            }
+            Request::Load(target) => {
+                let prep = self.registry.preprocessed(*target);
+                let mut payload = target_members(target);
+                payload.push(("bytes".into(), u(prep.approx_bytes() as u64)));
+                payload.push(("cached".into(), Json::Bool(self.registry.contains(target))));
+                Ok(payload)
+            }
+            Request::Evict(Some(target)) => {
+                let evicted = self.registry.evict(target);
+                let mut payload = target_members(target);
+                payload.push(("evicted".into(), u(evicted as u64)));
+                Ok(payload)
+            }
+            Request::Evict(None) => {
+                let evicted = self.registry.clear();
+                Ok(vec![("evicted".into(), u(evicted as u64))])
+            }
+            Request::Stats => Ok(self.stats_payload()),
+            // Shutdown is acknowledged by the connection layer (the
+            // worker pool only sees it if routed in error).
+            Request::Shutdown => Ok(vec![("draining".into(), Json::Bool(true))]),
+        }
+    }
+
+    fn stats_payload(&self) -> Payload {
+        let m = &self.metrics;
+        let reg = self.registry.stats();
+        let per_op: Vec<(String, Json)> = crate::protocol::Op::ALL
+            .iter()
+            .filter(|op| !matches!(op, Op::Shutdown))
+            .map(|op| {
+                let om = m.op(*op);
+                (
+                    op.name().to_string(),
+                    obj(vec![
+                        ("requests", u(om.requests.load(Ordering::Relaxed))),
+                        ("errors", u(om.errors.load(Ordering::Relaxed))),
+                        ("p50_us", u(om.latency.quantile_upper_us(0.50))),
+                        ("p99_us", u(om.latency.quantile_upper_us(0.99))),
+                    ]),
+                )
+            })
+            .collect();
+        vec![
+            (
+                "uptime_ms".into(),
+                u(self.started.elapsed().as_millis() as u64),
+            ),
+            (
+                "server".into(),
+                obj(vec![
+                    ("workers", u(self.info.workers as u64)),
+                    ("queue_capacity", u(self.info.queue_capacity as u64)),
+                    ("default_deadline_ms", u(self.info.default_deadline_ms)),
+                    ("connections", u(m.connections.load(Ordering::Relaxed))),
+                ]),
+            ),
+            (
+                "queue".into(),
+                obj(vec![
+                    ("depth", u(m.queue_depth.load(Ordering::Relaxed) as u64)),
+                    ("peak", u(m.queue_peak.load(Ordering::Relaxed) as u64)),
+                    (
+                        "rejected_overload",
+                        u(m.rejected_overload.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "rejected_shutdown",
+                        u(m.rejected_shutdown.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "expired_deadline",
+                        u(m.expired_deadline.load(Ordering::Relaxed)),
+                    ),
+                    ("bad_requests", u(m.bad_requests.load(Ordering::Relaxed))),
+                ]),
+            ),
+            (
+                "cache".into(),
+                obj(vec![
+                    ("entries", u(reg.entries as u64)),
+                    ("bytes", u(reg.bytes as u64)),
+                    ("budget", u(reg.budget as u64)),
+                    ("hits", u(reg.hits)),
+                    ("misses", u(reg.misses)),
+                    ("evictions", u(reg.evictions)),
+                    ("raw_graphs", u(reg.raw_graphs as u64)),
+                ]),
+            ),
+            ("ops".into(), Json::Obj(per_op)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+    use tc_core::model::ModelParams;
+    use tc_datasets::Dataset;
+
+    fn executor() -> Executor {
+        Executor {
+            gpu: GpuConfig::titan_xp_like(),
+            registry: Arc::new(GraphRegistry::new(
+                usize::MAX,
+                ModelParams::default_analytic(),
+            )),
+            metrics: Arc::new(ServiceMetrics::default()),
+            info: ServerInfo {
+                workers: 1,
+                queue_capacity: 8,
+                default_deadline_ms: 1000,
+            },
+            started: Instant::now(),
+        }
+    }
+
+    fn run(ex: &Executor, line: &str) -> Result<Payload, ServiceError> {
+        ex.execute(&parse_request(line).unwrap().request)
+    }
+
+    #[test]
+    fn count_matches_direct_cpu_count() {
+        let ex = executor();
+        let payload = run(&ex, r#"{"op":"count","dataset":"email-Eucore"}"#).unwrap();
+        let triangles = payload
+            .iter()
+            .find(|(k, _)| k == "triangles")
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap();
+        let g = tc_datasets::load(Dataset::EmailEucore);
+        let expected = tc_algos::cpu::node_iterator(&g);
+        assert_eq!(triangles, expected);
+    }
+
+    #[test]
+    fn simulate_agrees_with_count_on_triangles() {
+        let ex = executor();
+        let count = run(&ex, r#"{"op":"count","dataset":"email-Eucore"}"#).unwrap();
+        let sim = run(
+            &ex,
+            r#"{"op":"simulate","dataset":"email-Eucore","algo":"hu"}"#,
+        )
+        .unwrap();
+        let get = |p: &Payload, k: &str| {
+            p.iter()
+                .find(|(key, _)| key == k)
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap()
+        };
+        assert_eq!(get(&count, "triangles"), get(&sim, "triangles"));
+        assert!(get(&sim, "kernel_cycles") > 0);
+    }
+
+    #[test]
+    fn unknown_algo_is_reported() {
+        let ex = executor();
+        let err = run(
+            &ex,
+            r#"{"op":"simulate","dataset":"email-Eucore","algo":"warp9"}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownAlgo);
+    }
+
+    #[test]
+    fn recommend_rejects_out_of_range_source() {
+        let ex = executor();
+        let err = run(
+            &ex,
+            r#"{"op":"recommend","dataset":"email-Eucore","source":999999}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Failed);
+    }
+
+    #[test]
+    fn ktruss_levels_sum_to_edges() {
+        let ex = executor();
+        let payload = run(&ex, r#"{"op":"ktruss","dataset":"email-Eucore"}"#).unwrap();
+        let levels = payload
+            .iter()
+            .find(|(k, _)| k == "levels")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        let Json::Arr(rows) = levels else {
+            panic!("levels must be an array")
+        };
+        let total: u64 = rows
+            .iter()
+            .map(|r| r.get("edges").and_then(Json::as_u64).unwrap())
+            .sum();
+        let g = tc_datasets::load(Dataset::EmailEucore);
+        assert_eq!(total, g.num_edges() as u64);
+    }
+}

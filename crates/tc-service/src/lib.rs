@@ -1,0 +1,60 @@
+//! # tc-service — a concurrent triangle-analytics query server
+//!
+//! The serving layer over the reproduction workspace: a multi-threaded
+//! TCP server speaking a newline-delimited JSON protocol, holding
+//! graphs resident so the paper's A-direction/A-order preprocessing is
+//! paid once and amortised across queries.
+//!
+//! Subsystems:
+//!
+//! - [`registry`] — the preprocessed-graph cache, keyed by
+//!   `(dataset, direction scheme, ordering scheme, bucket size)` behind
+//!   a byte-budget LRU.
+//! - [`server`] — acceptor + connection threads + a bounded job queue
+//!   with admission control (overload ⇒ structured error, never
+//!   unbounded latency) + worker pool + graceful drain.
+//! - [`protocol`] — the wire format: query ops `count`, `simulate`,
+//!   `ktruss`, `clustering`, `recommend`; admin ops `load`, `evict`,
+//!   `stats`, `ping`, `sleep`, `shutdown`.
+//! - [`exec`] — query execution against the shared state.
+//! - [`metrics`] — per-endpoint counters and latency histograms.
+//! - [`client`] — a minimal blocking client.
+//! - [`json`] — the in-tree JSON model (the workspace builds offline;
+//!   there is no serde).
+//!
+//! Query responses are deterministic functions of the request — counts
+//! are exact, simulated cycles are bit-identical at any worker count —
+//! so the e2e suite can demand byte-identical responses from concurrent
+//! and serial runs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tc_service::server::{self, ServerConfig};
+//! use tc_service::client::ServiceClient;
+//!
+//! let handle = server::spawn(ServerConfig {
+//!     workers: 2,
+//!     ..ServerConfig::default()
+//! })
+//! .expect("bind");
+//! let mut client = ServiceClient::connect(handle.addr()).expect("connect");
+//! let reply = client
+//!     .request_ok(r#"{"op":"count","dataset":"email-Eucore"}"#)
+//!     .expect("query");
+//! assert!(reply.get("triangles").is_some());
+//! handle.shutdown(); // graceful: drains in-flight work
+//! ```
+
+pub mod client;
+pub mod exec;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use client::ServiceClient;
+pub use protocol::{Op, PrepTarget, Request};
+pub use registry::{GraphRegistry, RegistryStats};
+pub use server::{spawn, ServerConfig, ServerHandle};

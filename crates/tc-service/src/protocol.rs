@@ -1,0 +1,510 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request, answered in
+//! order per connection. A request is a JSON object with an `"op"` member
+//! selecting the query kind plus op-specific members; an optional `"id"`
+//! member (any JSON scalar) is echoed back verbatim so clients can
+//! correlate pipelined requests.
+//!
+//! ```text
+//! {"op":"count","dataset":"gowalla","id":1}
+//! {"id":1,"ok":true,"op":"count","dataset":"gowalla","direction":"A-direction","ordering":"A-order","nodes":40000,"edges":...,"triangles":...}
+//! ```
+//!
+//! Responses carry `"ok":true` plus an op-specific payload, or
+//! `"ok":false` with a stable machine-readable `"error"` code and a
+//! human-readable `"message"`. Successful query responses contain only
+//! deterministic fields (counts, simulated cycles, scores — never
+//! wall-clock latency), which is what makes the concurrent-vs-serial
+//! byte-identical acceptance test possible; timing lives in the `stats`
+//! surface instead.
+
+use crate::json::{self, Json};
+use tc_core::{DirectionScheme, OrderingScheme};
+use tc_datasets::Dataset;
+
+/// Query kinds and admin operations the server executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Exact CPU triangle count on a preprocessed (directed) graph.
+    Count,
+    /// Run a named GPU kernel through the simulator; returns cycles +
+    /// metrics.
+    Simulate,
+    /// k-truss decomposition summary.
+    Ktruss,
+    /// Clustering coefficients (global + mean local).
+    Clustering,
+    /// Triangle-based link recommendation for a source vertex.
+    Recommend,
+    /// Admin: preload a preprocessed variant into the registry.
+    Load,
+    /// Admin: evict registry entries.
+    Evict,
+    /// Admin: metrics snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Diagnostic: hold a worker for N milliseconds (backpressure and
+    /// deadline testing).
+    Sleep,
+    /// Admin: graceful shutdown (drain in-flight work, then exit).
+    Shutdown,
+}
+
+impl Op {
+    /// Every op, in a fixed order (indexes the per-op metrics table).
+    pub const ALL: [Op; 11] = [
+        Op::Count,
+        Op::Simulate,
+        Op::Ktruss,
+        Op::Clustering,
+        Op::Recommend,
+        Op::Load,
+        Op::Evict,
+        Op::Stats,
+        Op::Ping,
+        Op::Sleep,
+        Op::Shutdown,
+    ];
+
+    /// Wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Count => "count",
+            Op::Simulate => "simulate",
+            Op::Ktruss => "ktruss",
+            Op::Clustering => "clustering",
+            Op::Recommend => "recommend",
+            Op::Load => "load",
+            Op::Evict => "evict",
+            Op::Stats => "stats",
+            Op::Ping => "ping",
+            Op::Sleep => "sleep",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    /// Index into [`Op::ALL`] (metrics tables are arrays over this).
+    pub fn index(&self) -> usize {
+        Op::ALL.iter().position(|o| o == self).expect("op in ALL")
+    }
+
+    fn from_name(name: &str) -> Option<Op> {
+        Op::ALL.iter().copied().find(|o| o.name() == name)
+    }
+}
+
+/// A preprocessed-graph variant: the registry cache key requested by
+/// `count` / `simulate` / `load`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PrepTarget {
+    /// Which dataset stand-in.
+    pub dataset: Dataset,
+    /// Edge-directing scheme (default: the paper's A-direction).
+    pub direction: DirectionScheme,
+    /// Vertex-ordering scheme (default: the paper's A-order).
+    pub ordering: OrderingScheme,
+    /// Bucket size `k` for A-order (default 64, matching Hu's kernel).
+    pub bucket_size: usize,
+}
+
+/// A parsed, validated request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Exact count on a preprocessed variant.
+    Count(PrepTarget),
+    /// Simulate a named kernel on a preprocessed variant.
+    Simulate(PrepTarget, String),
+    /// k-truss summary of the raw (undirected) dataset.
+    Ktruss(Dataset),
+    /// Clustering coefficients of the raw dataset.
+    Clustering(Dataset),
+    /// Top-k link recommendations for `source`.
+    Recommend {
+        /// Dataset to recommend within.
+        dataset: Dataset,
+        /// Source vertex (original id space).
+        source: u32,
+        /// Number of candidates to return.
+        k: usize,
+    },
+    /// Preload a variant into the registry.
+    Load(PrepTarget),
+    /// Evict one variant (`Some(target)`) or everything (`None`).
+    Evict(Option<PrepTarget>),
+    /// Metrics snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Hold a worker for this many milliseconds (capped at 5000).
+    Sleep(u64),
+    /// Graceful shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// The op this request invokes.
+    pub fn op(&self) -> Op {
+        match self {
+            Request::Count(_) => Op::Count,
+            Request::Simulate(..) => Op::Simulate,
+            Request::Ktruss(_) => Op::Ktruss,
+            Request::Clustering(_) => Op::Clustering,
+            Request::Recommend { .. } => Op::Recommend,
+            Request::Load(_) => Op::Load,
+            Request::Evict(_) => Op::Evict,
+            Request::Stats => Op::Stats,
+            Request::Ping => Op::Ping,
+            Request::Sleep(_) => Op::Sleep,
+            Request::Shutdown => Op::Shutdown,
+        }
+    }
+}
+
+/// Stable machine-readable error codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed JSON or missing/invalid members.
+    BadRequest,
+    /// `dataset` did not name a known stand-in.
+    UnknownDataset,
+    /// `algo` did not name a known kernel.
+    UnknownAlgo,
+    /// The bounded request queue was full — retry later.
+    Overloaded,
+    /// The request waited in queue past its deadline.
+    DeadlineExceeded,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// The query itself failed (e.g. out-of-range vertex).
+    Failed,
+}
+
+impl ErrorKind {
+    /// Wire code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnknownDataset => "unknown_dataset",
+            ErrorKind::UnknownAlgo => "unknown_algo",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Failed => "failed",
+        }
+    }
+}
+
+/// A protocol-level error: a stable code plus a human-readable message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceError {
+    /// Error class.
+    pub kind: ErrorKind,
+    /// Human-readable detail (not intended to be stable).
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Builds an error.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// Result of parsing one request line: the request plus its optional
+/// client-supplied correlation id and any per-request deadline override.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// The validated request.
+    pub request: Request,
+    /// Echoed back as `"id"` in the response, if the client sent one.
+    pub id: Option<Json>,
+    /// Per-request deadline override in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses a dataset wire name (the paper's Table 4 names,
+/// case-insensitive).
+pub fn parse_dataset(name: &str) -> Option<Dataset> {
+    Dataset::all()
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+}
+
+/// Parses a direction-scheme wire name.
+pub fn parse_direction(name: &str) -> Option<DirectionScheme> {
+    match name.to_ascii_lowercase().as_str() {
+        "id" | "id-based" => Some(DirectionScheme::IdBased),
+        "degree" | "d-direction" => Some(DirectionScheme::DegreeBased),
+        "a" | "a-direction" => Some(DirectionScheme::ADirection),
+        "a-phased" | "a-direction-phased" => Some(DirectionScheme::ADirectionPhased),
+        _ => None,
+    }
+}
+
+/// Parses an ordering-scheme wire name.
+pub fn parse_ordering(name: &str) -> Option<OrderingScheme> {
+    match name.to_ascii_lowercase().as_str() {
+        "original" | "origin" => Some(OrderingScheme::Original),
+        "degree" | "d-order" => Some(OrderingScheme::DegreeOrder),
+        "a" | "a-order" => Some(OrderingScheme::AOrder),
+        "dfs" => Some(OrderingScheme::Dfs),
+        "bfs-r" | "bfsr" => Some(OrderingScheme::BfsR),
+        "slashburn" => Some(OrderingScheme::SlashBurn),
+        "gro" => Some(OrderingScheme::Gro),
+        _ => None,
+    }
+}
+
+fn bad(message: impl Into<String>) -> ServiceError {
+    ServiceError::new(ErrorKind::BadRequest, message)
+}
+
+fn prep_target(obj: &Json) -> Result<PrepTarget, ServiceError> {
+    let dataset_name = obj
+        .get("dataset")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing string member \"dataset\""))?;
+    let dataset = parse_dataset(dataset_name).ok_or_else(|| {
+        ServiceError::new(
+            ErrorKind::UnknownDataset,
+            format!("unknown dataset \"{dataset_name}\""),
+        )
+    })?;
+    let direction = match obj.get("direction").and_then(Json::as_str) {
+        None => DirectionScheme::ADirection,
+        Some(name) => parse_direction(name)
+            .ok_or_else(|| bad(format!("unknown direction scheme \"{name}\"")))?,
+    };
+    let ordering = match obj.get("ordering").and_then(Json::as_str) {
+        None => OrderingScheme::AOrder,
+        Some(name) => parse_ordering(name)
+            .ok_or_else(|| bad(format!("unknown ordering scheme \"{name}\"")))?,
+    };
+    let bucket_size = match obj.get("bucket_size") {
+        None => 64,
+        Some(v) => v
+            .as_u64()
+            .filter(|&b| (1..=65_536).contains(&b))
+            .ok_or_else(|| bad("\"bucket_size\" must be an integer in 1..=65536"))?
+            as usize,
+    };
+    Ok(PrepTarget {
+        dataset,
+        direction,
+        ordering,
+        bucket_size,
+    })
+}
+
+fn dataset_of(obj: &Json) -> Result<Dataset, ServiceError> {
+    let name = obj
+        .get("dataset")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing string member \"dataset\""))?;
+    parse_dataset(name).ok_or_else(|| {
+        ServiceError::new(
+            ErrorKind::UnknownDataset,
+            format!("unknown dataset \"{name}\""),
+        )
+    })
+}
+
+/// Parses one request line into an [`Envelope`].
+pub fn parse_request(line: &str) -> Result<Envelope, ServiceError> {
+    let value = json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err(bad("request must be a JSON object"));
+    }
+    let id = value.get("id").cloned();
+    if let Some(id) = &id {
+        if matches!(id, Json::Arr(_) | Json::Obj(_)) {
+            return Err(bad("\"id\" must be a scalar"));
+        }
+    }
+    let deadline_ms = match value.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .filter(|&d| d > 0)
+                .ok_or_else(|| bad("\"deadline_ms\" must be a positive integer"))?,
+        ),
+    };
+    let op_name = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing string member \"op\""))?;
+    let op = Op::from_name(op_name).ok_or_else(|| bad(format!("unknown op \"{op_name}\"")))?;
+
+    let request = match op {
+        Op::Count => Request::Count(prep_target(&value)?),
+        Op::Load => Request::Load(prep_target(&value)?),
+        Op::Simulate => {
+            let algo = value
+                .get("algo")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("missing string member \"algo\""))?;
+            Request::Simulate(prep_target(&value)?, algo.to_ascii_lowercase())
+        }
+        Op::Ktruss => Request::Ktruss(dataset_of(&value)?),
+        Op::Clustering => Request::Clustering(dataset_of(&value)?),
+        Op::Recommend => {
+            let dataset = dataset_of(&value)?;
+            let source = value
+                .get("source")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("missing integer member \"source\""))?;
+            let source =
+                u32::try_from(source).map_err(|_| bad("\"source\" exceeds the vertex id range"))?;
+            let k = value
+                .get("k")
+                .map_or(Some(10), Json::as_u64)
+                .filter(|&k| (1..=1000).contains(&k))
+                .ok_or_else(|| bad("\"k\" must be an integer in 1..=1000"))?
+                as usize;
+            Request::Recommend { dataset, source, k }
+        }
+        Op::Evict => {
+            if value.get("dataset").is_some() {
+                Request::Evict(Some(prep_target(&value)?))
+            } else {
+                Request::Evict(None)
+            }
+        }
+        Op::Stats => Request::Stats,
+        Op::Ping => Request::Ping,
+        Op::Sleep => {
+            let ms = value
+                .get("ms")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("missing integer member \"ms\""))?;
+            Request::Sleep(ms.min(5_000))
+        }
+        Op::Shutdown => Request::Shutdown,
+    };
+    Ok(Envelope {
+        request,
+        id,
+        deadline_ms,
+    })
+}
+
+/// Assembles a success response line (no trailing newline).
+pub fn ok_response(id: Option<&Json>, op: Op, payload: Vec<(String, Json)>) -> String {
+    let mut members: Vec<(String, Json)> = Vec::with_capacity(payload.len() + 3);
+    if let Some(id) = id {
+        members.push(("id".into(), id.clone()));
+    }
+    members.push(("ok".into(), Json::Bool(true)));
+    members.push(("op".into(), Json::Str(op.name().into())));
+    members.extend(payload);
+    Json::Obj(members).to_string_compact()
+}
+
+/// Assembles an error response line (no trailing newline).
+pub fn error_response(id: Option<&Json>, op: Option<Op>, err: &ServiceError) -> String {
+    let mut members: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        members.push(("id".into(), id.clone()));
+    }
+    members.push(("ok".into(), Json::Bool(false)));
+    if let Some(op) = op {
+        members.push(("op".into(), Json::Str(op.name().into())));
+    }
+    members.push(("error".into(), Json::Str(err.kind.code().into())));
+    members.push(("message".into(), Json::Str(err.message.clone())));
+    Json::Obj(members).to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_request_defaults_to_paper_schemes() {
+        let env = parse_request(r#"{"op":"count","dataset":"gowalla"}"#).unwrap();
+        let Request::Count(t) = env.request else {
+            panic!("wrong variant");
+        };
+        assert_eq!(t.dataset, Dataset::Gowalla);
+        assert_eq!(t.direction, DirectionScheme::ADirection);
+        assert_eq!(t.ordering, OrderingScheme::AOrder);
+        assert_eq!(t.bucket_size, 64);
+    }
+
+    #[test]
+    fn explicit_schemes_and_id_roundtrip() {
+        let env = parse_request(
+            r#"{"op":"simulate","dataset":"email-Eucore","algo":"Hu","direction":"degree","ordering":"dfs","id":42}"#,
+        )
+        .unwrap();
+        assert_eq!(env.id, Some(Json::Int(42)));
+        let Request::Simulate(t, algo) = env.request else {
+            panic!("wrong variant");
+        };
+        assert_eq!(algo, "hu");
+        assert_eq!(t.direction, DirectionScheme::DegreeBased);
+        assert_eq!(t.ordering, OrderingScheme::Dfs);
+    }
+
+    #[test]
+    fn unknown_dataset_is_a_distinct_error() {
+        let err = parse_request(r#"{"op":"count","dataset":"nope"}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownDataset);
+    }
+
+    #[test]
+    fn malformed_lines_are_bad_requests() {
+        for line in [
+            "",
+            "not json",
+            "[1,2]",
+            r#"{"dataset":"gowalla"}"#,
+            r#"{"op":"count"}"#,
+            r#"{"op":"warp"}"#,
+            r#"{"op":"recommend","dataset":"gowalla"}"#,
+            r#"{"op":"count","dataset":"gowalla","id":[1]}"#,
+            r#"{"op":"count","dataset":"gowalla","deadline_ms":0}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{line:?}");
+        }
+    }
+
+    #[test]
+    fn sleep_is_capped() {
+        let env = parse_request(r#"{"op":"sleep","ms":999999}"#).unwrap();
+        assert_eq!(env.request, Request::Sleep(5_000));
+    }
+
+    #[test]
+    fn response_shapes() {
+        let ok = ok_response(
+            Some(&Json::Int(7)),
+            Op::Ping,
+            vec![("pong".into(), Json::Bool(true))],
+        );
+        assert_eq!(ok, r#"{"id":7,"ok":true,"op":"ping","pong":true}"#);
+        let err = error_response(
+            None,
+            Some(Op::Count),
+            &ServiceError::new(ErrorKind::Overloaded, "queue full"),
+        );
+        assert_eq!(
+            err,
+            r#"{"ok":false,"op":"count","error":"overloaded","message":"queue full"}"#
+        );
+    }
+
+    #[test]
+    fn every_op_roundtrips_through_its_name() {
+        for op in Op::ALL {
+            assert_eq!(Op::from_name(op.name()), Some(op));
+            assert_eq!(Op::ALL[op.index()], op);
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! The preprocessed-graph registry: the cache that amortises the paper's
+//! A-direction/A-order preprocessing across queries.
+//!
+//! Two layers:
+//!
+//! - **Raw stand-ins** (`Dataset` → [`CsrGraph`]): generator outputs,
+//!   cached unbudgeted — they are modest and every query kind needs one.
+//! - **Preprocessed variants** ([`PrepTarget`] → [`PreprocessResult`]):
+//!   keyed by `(dataset, direction scheme, ordering scheme, bucket
+//!   size)`, charged against a byte budget (via
+//!   [`PreprocessResult::approx_bytes`]) and evicted least-recently-used.
+//!   The first query for a key pays the full direction + ordering +
+//!   rebuild cost; later queries hit the cache. Each entry also memoises
+//!   pure derived results ([`CachedPrep::triangles`]), so a repeated
+//!   `count` query is a lookup, not a recount. `BENCH_service.json`
+//!   quantifies the difference.
+//!
+//! Concurrent misses on the *same* key are deduplicated: the first
+//! requester computes while later ones block on a shared [`OnceLock`]
+//! cell, so an expensive preprocessing run never executes twice
+//! concurrently. Misses on *different* keys proceed in parallel (the
+//! compute happens outside the registry lock). An entry larger than the
+//! whole budget is returned but never admitted — a zero budget therefore
+//! turns the registry into a deliberate cache-bypass mode, which the
+//! cold-cache benchmark pass uses.
+
+use crate::protocol::PrepTarget;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use tc_core::model::ModelParams;
+use tc_core::{PreprocessResult, Preprocessor};
+use tc_datasets::Dataset;
+use tc_graph::CsrGraph;
+
+/// Counters a registry exposes on the `stats` surface.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Cached preprocessed variants.
+    pub entries: usize,
+    /// Bytes charged against the budget.
+    pub bytes: usize,
+    /// The byte budget.
+    pub budget: usize,
+    /// Lookups satisfied from cache (including waits on an in-flight
+    /// computation by another thread).
+    pub hits: u64,
+    /// Lookups that computed the variant.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Raw dataset stand-ins cached.
+    pub raw_graphs: usize,
+}
+
+/// A cached preprocessed variant plus memoised derived results.
+///
+/// The variant is immutable, so pure functions of it — today the exact
+/// triangle count — are computed once per cache residency and reused by
+/// every later query. Evicting the entry drops the memo with it; a
+/// zero-budget registry therefore recomputes both preprocessing *and*
+/// count on every query, which is exactly the cold pass `serve-bench`
+/// measures.
+pub struct CachedPrep {
+    prep: Arc<PreprocessResult>,
+    count: OnceLock<u64>,
+}
+
+impl CachedPrep {
+    fn new(prep: Arc<PreprocessResult>) -> Self {
+        Self {
+            prep,
+            count: OnceLock::new(),
+        }
+    }
+
+    /// The preprocessed variant.
+    pub fn prep(&self) -> &Arc<PreprocessResult> {
+        &self.prep
+    }
+
+    /// Exact triangle count of the variant, computed on first use.
+    pub fn triangles(&self) -> u64 {
+        *self
+            .count
+            .get_or_init(|| tc_algos::cpu::directed_count(self.prep.directed()))
+    }
+}
+
+struct Entry {
+    cached: Arc<CachedPrep>,
+    bytes: usize,
+    /// Monotonic touch tick; smallest = least recently used.
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    graphs: HashMap<Dataset, Arc<CsrGraph>>,
+    entries: HashMap<PrepTarget, Entry>,
+    /// In-flight computations, for same-key dedup.
+    pending: HashMap<PrepTarget, Arc<OnceLock<Arc<CachedPrep>>>>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// The registry. Cheap to share behind an [`Arc`]; all methods take
+/// `&self`.
+pub struct GraphRegistry {
+    budget: usize,
+    params: ModelParams,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl GraphRegistry {
+    /// A registry holding at most `byte_budget` bytes of preprocessed
+    /// variants, preprocessing with the given calibrated model parameters.
+    pub fn new(byte_budget: usize, params: ModelParams) -> Self {
+        Self {
+            budget: byte_budget,
+            params,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The raw stand-in for `dataset`, loading (and caching) it on first
+    /// use.
+    pub fn graph(&self, dataset: Dataset) -> Arc<CsrGraph> {
+        // Fast path under the lock; the generator runs outside it so an
+        // expensive load does not serialize unrelated lookups. Two racing
+        // first loads may both generate — the generators are deterministic,
+        // so either result is identical and one is dropped.
+        if let Some(g) = self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .graphs
+            .get(&dataset)
+        {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(tc_datasets::load(dataset));
+        let mut inner = self.inner.lock().expect("registry lock");
+        Arc::clone(inner.graphs.entry(dataset).or_insert(g))
+    }
+
+    /// The preprocessed variant for `key`: cached, or computed (and, if
+    /// it fits the budget, admitted) on miss.
+    pub fn preprocessed(&self, key: PrepTarget) -> Arc<PreprocessResult> {
+        Arc::clone(self.entry(key).prep())
+    }
+
+    /// The cache entry for `key` — the preprocessed variant plus its
+    /// memoised derived results ([`CachedPrep::triangles`]).
+    pub fn entry(&self, key: PrepTarget) -> Arc<CachedPrep> {
+        // Hit or get-or-insert the pending cell, under the lock.
+        let cell = {
+            let mut inner = self.inner.lock().expect("registry lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.cached);
+            }
+            Arc::clone(inner.pending.entry(key).or_default())
+        };
+
+        // Compute outside the lock. The OnceLock serializes same-key
+        // racers: exactly one thread runs the closure, the rest block on
+        // it and share the result (counted as hits — they waited, not
+        // worked). Different keys preprocess fully in parallel.
+        let mut computed_here = false;
+        let cached = Arc::clone(cell.get_or_init(|| {
+            computed_here = true;
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let graph = self.graph(key.dataset);
+            Arc::new(CachedPrep::new(Arc::new(
+                Preprocessor::new()
+                    .direction(key.direction)
+                    .ordering(key.ordering)
+                    .bucket_size(key.bucket_size)
+                    .params(self.params.clone())
+                    .run(&graph),
+            )))
+        }));
+        if !computed_here {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+
+        // The computing thread retires the pending cell and admits the
+        // entry (if it fits), evicting LRU victims to make room.
+        let bytes = cached.prep().approx_bytes();
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.pending.remove(&key);
+        if bytes <= self.budget {
+            self.evict_for(&mut inner, bytes);
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.bytes += bytes;
+            inner.entries.insert(
+                key,
+                Entry {
+                    cached: Arc::clone(&cached),
+                    bytes,
+                    last_used: tick,
+                },
+            );
+        }
+        cached
+    }
+
+    /// Evicts least-recently-used entries until `incoming` more bytes fit.
+    fn evict_for(&self, inner: &mut Inner, incoming: usize) {
+        while inner.bytes + incoming > self.budget {
+            let Some((&victim, _)) = inner.entries.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            let entry = inner.entries.remove(&victim).expect("victim present");
+            inner.bytes -= entry.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `key` is currently cached (test/diagnostic surface).
+    pub fn contains(&self, key: &PrepTarget) -> bool {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .entries
+            .contains_key(key)
+    }
+
+    /// Evicts one variant; returns whether it was present.
+    pub fn evict(&self, key: &PrepTarget) -> bool {
+        let mut inner = self.inner.lock().expect("registry lock");
+        match inner.entries.remove(key) {
+            Some(e) => {
+                inner.bytes -= e.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Evicts every variant and every raw stand-in; returns the number of
+    /// preprocessed entries dropped.
+    pub fn clear(&self) -> usize {
+        let mut inner = self.inner.lock().expect("registry lock");
+        let n = inner.entries.len();
+        inner.entries.clear();
+        inner.graphs.clear();
+        inner.bytes = 0;
+        n
+    }
+
+    /// Snapshot of the registry counters.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().expect("registry lock");
+        RegistryStats {
+            entries: inner.entries.len(),
+            bytes: inner.bytes,
+            budget: self.budget,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            raw_graphs: inner.graphs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::{DirectionScheme, OrderingScheme};
+
+    fn key(dataset: Dataset, ordering: OrderingScheme) -> PrepTarget {
+        PrepTarget {
+            dataset,
+            direction: DirectionScheme::ADirection,
+            ordering,
+            bucket_size: 64,
+        }
+    }
+
+    fn registry(budget: usize) -> GraphRegistry {
+        GraphRegistry::new(budget, ModelParams::default_analytic())
+    }
+
+    /// Byte cost of one EmailEucore variant (they all share the same
+    /// graph shape, so every ordering costs the same).
+    fn unit_bytes() -> usize {
+        registry(usize::MAX)
+            .preprocessed(key(Dataset::EmailEucore, OrderingScheme::AOrder))
+            .approx_bytes()
+    }
+
+    #[test]
+    fn hit_after_miss_and_key_isolation() {
+        let r = registry(usize::MAX);
+        let a = key(Dataset::EmailEucore, OrderingScheme::AOrder);
+        let b = key(Dataset::EmailEucore, OrderingScheme::Original);
+        let p1 = r.preprocessed(a);
+        let p2 = r.preprocessed(a);
+        assert!(
+            Arc::ptr_eq(&p1, &p2),
+            "second lookup must be the cached Arc"
+        );
+        let p3 = r.preprocessed(b);
+        assert!(
+            !Arc::ptr_eq(&p1, &p3),
+            "different ordering, different entry"
+        );
+        let s = r.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 2));
+        // Same triangles either way — the variants differ only in layout.
+        assert_eq!(
+            tc_algos::cpu::directed_count(p1.directed()),
+            tc_algos::cpu::directed_count(p3.directed()),
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let unit = unit_bytes();
+        // Room for exactly two EmailEucore variants.
+        let r = registry(2 * unit + unit / 2);
+        let a = key(Dataset::EmailEucore, OrderingScheme::AOrder);
+        let b = key(Dataset::EmailEucore, OrderingScheme::Original);
+        let c = key(Dataset::EmailEucore, OrderingScheme::DegreeOrder);
+        r.preprocessed(a);
+        r.preprocessed(b);
+        r.preprocessed(a); // touch A: B becomes the LRU victim
+        r.preprocessed(c);
+        assert!(r.contains(&a), "recently touched entry must survive");
+        assert!(!r.contains(&b), "LRU entry must be evicted");
+        assert!(r.contains(&c));
+        let s = r.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert!(s.bytes <= s.budget);
+    }
+
+    #[test]
+    fn reload_after_evict_recomputes() {
+        let r = registry(usize::MAX);
+        let a = key(Dataset::EmailEucore, OrderingScheme::AOrder);
+        let before = tc_algos::cpu::directed_count(r.preprocessed(a).directed());
+        assert!(r.evict(&a));
+        assert!(!r.contains(&a));
+        assert!(!r.evict(&a), "double evict reports absence");
+        let after = tc_algos::cpu::directed_count(r.preprocessed(a).directed());
+        assert_eq!(before, after, "re-load must reproduce the same variant");
+        assert_eq!(r.stats().misses, 2, "the re-load is a genuine miss");
+    }
+
+    #[test]
+    fn oversized_entries_bypass_the_cache() {
+        let r = registry(0);
+        let a = key(Dataset::EmailEucore, OrderingScheme::AOrder);
+        r.preprocessed(a);
+        r.preprocessed(a);
+        let s = r.stats();
+        assert_eq!(s.entries, 0, "budget 0 admits nothing");
+        assert_eq!(s.misses, 2, "every lookup recomputes");
+        assert_eq!(s.evictions, 0, "bypass is not eviction");
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let r = registry(usize::MAX);
+        r.preprocessed(key(Dataset::EmailEucore, OrderingScheme::AOrder));
+        r.preprocessed(key(Dataset::EmailEucore, OrderingScheme::Original));
+        assert_eq!(r.clear(), 2);
+        let s = r.stats();
+        assert_eq!((s.entries, s.bytes, s.raw_graphs), (0, 0, 0));
+    }
+}

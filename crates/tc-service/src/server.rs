@@ -1,0 +1,488 @@
+//! The TCP server: acceptor, per-connection reader threads, a bounded
+//! job queue with admission control, and a worker pool.
+//!
+//! ```text
+//!  conn 0 ──┐                         ┌── worker 0 ──┐
+//!  conn 1 ──┼──▶ bounded job queue ──▶┼── worker 1 ──┼──▶ response
+//!  conn N ──┘    (reject when full)   └── worker W ──┘    channels
+//! ```
+//!
+//! The shape mirrors the PR-1 trace pipeline (workers + bounded buffer +
+//! condvar handshake) one layer up the stack: there the bounded buffer
+//! kept trace memory in check, here it is the *admission control* — a
+//! full queue answers `overloaded` immediately instead of queueing
+//! unbounded latency, and a request that waited past its deadline is
+//! answered `deadline_exceeded` without executing. Each connection
+//! thread submits one request at a time and waits for its response, so
+//! responses are written in request order per connection while distinct
+//! connections share the pool.
+//!
+//! # Shutdown
+//!
+//! `ServerHandle::shutdown()` (or a client `shutdown` op) drains rather
+//! than aborts: stop accepting connections, close the queue (new
+//! submissions get `shutting_down`), let the workers finish every job
+//! already admitted, then unblock connection readers and join every
+//! thread. In-flight requests always receive their responses.
+
+use crate::exec::{Executor, ServerInfo};
+use crate::json::Json;
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{
+    error_response, ok_response, parse_request, ErrorKind, Op, Request, ServiceError,
+};
+use crate::registry::GraphRegistry;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tc_core::model::{calibrate, ModelParams};
+use tc_gpusim::GpuConfig;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bounded request-queue capacity (admission control).
+    pub queue_capacity: usize,
+    /// Default per-query deadline (a request may override with
+    /// `deadline_ms`); measured from enqueue to execution start.
+    pub default_deadline: Duration,
+    /// Registry byte budget for preprocessed variants.
+    pub registry_budget: usize,
+    /// The GPU model `simulate` queries run on.
+    pub gpu: GpuConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline: Duration::from_secs(30),
+            registry_budget: 256 << 20,
+            gpu: GpuConfig::titan_xp_like(),
+        }
+    }
+}
+
+/// One queued request: the parsed envelope plus the channel its
+/// response line travels back on.
+struct Job {
+    request: Request,
+    id: Option<Json>,
+    enqueued: Instant,
+    deadline: Duration,
+    respond: mpsc::Sender<String>,
+}
+
+/// Bounded MPMC job queue. `push` never blocks — admission control means
+/// rejecting loudly, not waiting quietly.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Why a push was refused.
+enum PushError {
+    /// Queue at capacity.
+    Full,
+    /// Queue closed for shutdown.
+    Closed,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// On rejection the job is dropped (its response channel included —
+    /// the submitter has not started waiting yet).
+    fn push(&self, job: Job) -> Result<(), PushError> {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.jobs.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained — the worker-exit condition that makes shutdown lossless.
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.available.wait(st).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    metrics: Arc<ServiceMetrics>,
+    registry: Arc<GraphRegistry>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics (shared with the running threads).
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
+    }
+
+    /// The server's registry (shared with the running threads).
+    pub fn registry(&self) -> &Arc<GraphRegistry> {
+        &self.registry
+    }
+
+    /// Requests a graceful drain and waits for every thread to exit.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// Waits for the server to exit on its own (e.g. after a client
+    /// issued the `shutdown` op) without initiating a drain here.
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Calibrated model parameters for a GPU, memoized process-wide: the
+/// calibration sweep is deterministic per configuration but costs whole
+/// seconds in debug builds, and test suites spawn many servers. The
+/// cache stays tiny (one entry per distinct GPU config ever served).
+fn calibrated_params(gpu: &GpuConfig) -> ModelParams {
+    static CACHE: Mutex<Vec<(GpuConfig, ModelParams)>> = Mutex::new(Vec::new());
+    let mut cache = CACHE.lock().expect("calibration cache lock");
+    if let Some((_, params)) = cache.iter().find(|(g, _)| g == gpu) {
+        return params.clone();
+    }
+    let params = calibrate(gpu).params;
+    cache.push((gpu.clone(), params.clone()));
+    params
+}
+
+/// Spawns a server with the given configuration; returns once the
+/// listener is bound (queries may be issued immediately).
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let metrics = Arc::new(ServiceMetrics::default());
+    let params = calibrated_params(&config.gpu);
+    let registry = Arc::new(GraphRegistry::new(config.registry_budget, params));
+    let executor = Arc::new(Executor {
+        gpu: config.gpu.clone(),
+        registry: Arc::clone(&registry),
+        metrics: Arc::clone(&metrics),
+        info: ServerInfo {
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            default_deadline_ms: config.default_deadline.as_millis() as u64,
+        },
+        started: Instant::now(),
+    });
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let handle_shutdown = Arc::clone(&shutdown);
+    let handle_metrics = Arc::clone(&metrics);
+    let handle_registry = Arc::clone(&registry);
+    let thread = std::thread::Builder::new()
+        .name("tc-service-acceptor".into())
+        .spawn(move || serve(listener, config, executor, shutdown))?;
+
+    Ok(ServerHandle {
+        addr,
+        shutdown: handle_shutdown,
+        thread: Some(thread),
+        metrics: handle_metrics,
+        registry: handle_registry,
+    })
+}
+
+/// The acceptor loop plus the drain procedure. Runs on the dedicated
+/// server thread; exits only when fully drained.
+fn serve(
+    listener: TcpListener,
+    config: ServerConfig,
+    executor: Arc<Executor>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let queue = Arc::new(JobQueue::new(config.queue_capacity.max(1)));
+    let default_deadline = config.default_deadline;
+
+    // Worker pool.
+    let mut workers = Vec::new();
+    for i in 0..config.workers.max(1) {
+        let queue = Arc::clone(&queue);
+        let executor = Arc::clone(&executor);
+        let t = std::thread::Builder::new()
+            .name(format!("tc-service-worker-{i}"))
+            .spawn(move || worker_loop(&queue, &executor))
+            .expect("spawn worker");
+        workers.push(t);
+    }
+
+    // Accept loop: non-blocking accept polled alongside the shutdown
+    // flag, so a drain request is noticed within a few milliseconds.
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Request/response lines are small; without TCP_NODELAY
+                // each response can stall ~40ms in Nagle's buffer waiting
+                // for the client's delayed ACK.
+                let _ = stream.set_nodelay(true);
+                executor.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    streams.lock().expect("streams lock").push(clone);
+                }
+                let queue = Arc::clone(&queue);
+                let executor = Arc::clone(&executor);
+                let shutdown = Arc::clone(&shutdown);
+                let t = std::thread::Builder::new()
+                    .name("tc-service-conn".into())
+                    .spawn(move || {
+                        connection_loop(stream, &queue, &executor, &shutdown, default_deadline)
+                    })
+                    .expect("spawn connection thread");
+                conns.push(t);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+
+    // Drain: close the queue (submissions now answer `shutting_down`),
+    // let the workers finish everything already admitted, then unblock
+    // the connection readers and join them.
+    queue.close();
+    for t in workers {
+        let _ = t.join();
+    }
+    // Read-side only: blocked readers wake with EOF, while responses the
+    // connection threads are still writing go out on the intact write side.
+    for stream in streams.lock().expect("streams lock").iter() {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+    for t in conns {
+        let _ = t.join();
+    }
+    drop(listener);
+}
+
+/// Worker: pops jobs, enforces deadlines, executes, records metrics.
+fn worker_loop(queue: &JobQueue, executor: &Executor) {
+    while let Some(job) = queue.pop() {
+        executor.metrics.queue_left();
+        let op = job.request.op();
+        let waited = job.enqueued.elapsed();
+        let line = if waited > job.deadline {
+            executor
+                .metrics
+                .expired_deadline
+                .fetch_add(1, Ordering::Relaxed);
+            let err = ServiceError::new(
+                ErrorKind::DeadlineExceeded,
+                format!(
+                    "request waited {}ms in queue, past its {}ms deadline",
+                    waited.as_millis(),
+                    job.deadline.as_millis()
+                ),
+            );
+            executor
+                .metrics
+                .record_completion(op, waited.as_micros() as u64, true);
+            error_response(job.id.as_ref(), Some(op), &err)
+        } else {
+            let result = executor.execute(&job.request);
+            let latency_us = job.enqueued.elapsed().as_micros() as u64;
+            match result {
+                Ok(payload) => {
+                    executor.metrics.record_completion(op, latency_us, false);
+                    ok_response(job.id.as_ref(), op, payload)
+                }
+                Err(err) => {
+                    executor.metrics.record_completion(op, latency_us, true);
+                    error_response(job.id.as_ref(), Some(op), &err)
+                }
+            }
+        };
+        // A dead connection just means nobody reads the response.
+        let _ = job.respond.send(line);
+    }
+}
+
+/// Connection thread: read a line, route it, write the response line.
+fn connection_loop(
+    stream: TcpStream,
+    queue: &JobQueue,
+    executor: &Executor,
+    shutdown: &AtomicBool,
+    default_deadline: Duration,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = route_line(&line, queue, executor, shutdown, default_deadline);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// Parses and routes one request line, returning the response line.
+fn route_line(
+    line: &str,
+    queue: &JobQueue,
+    executor: &Executor,
+    shutdown: &AtomicBool,
+    default_deadline: Duration,
+) -> String {
+    let envelope = match parse_request(line) {
+        Ok(env) => env,
+        Err(err) => {
+            executor
+                .metrics
+                .bad_requests
+                .fetch_add(1, Ordering::Relaxed);
+            return error_response(None, None, &err);
+        }
+    };
+
+    // Shutdown is handled here, not by a worker: acknowledge, then flip
+    // the flag the acceptor polls. In-flight work still drains.
+    if matches!(envelope.request, Request::Shutdown) {
+        shutdown.store(true, Ordering::SeqCst);
+        return ok_response(
+            envelope.id.as_ref(),
+            Op::Shutdown,
+            vec![("draining".into(), Json::Bool(true))],
+        );
+    }
+
+    let op = envelope.request.op();
+    let deadline = envelope
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(default_deadline);
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        request: envelope.request,
+        id: envelope.id.clone(),
+        enqueued: Instant::now(),
+        deadline,
+        respond: tx,
+    };
+    executor.metrics.queue_entered();
+    match queue.push(job) {
+        Ok(()) => match rx.recv() {
+            Ok(response) => response,
+            Err(_) => {
+                // Worker dropped the sender without responding — only
+                // possible if it panicked mid-execution.
+                let err = ServiceError::new(ErrorKind::Failed, "query execution failed");
+                error_response(envelope.id.as_ref(), Some(op), &err)
+            }
+        },
+        Err(reason) => {
+            executor.metrics.queue_left();
+            let err = match reason {
+                PushError::Full => {
+                    executor
+                        .metrics
+                        .rejected_overload
+                        .fetch_add(1, Ordering::Relaxed);
+                    ServiceError::new(
+                        ErrorKind::Overloaded,
+                        format!(
+                            "request queue full ({} pending); retry later",
+                            queue.capacity
+                        ),
+                    )
+                }
+                PushError::Closed => {
+                    executor
+                        .metrics
+                        .rejected_shutdown
+                        .fetch_add(1, Ordering::Relaxed);
+                    ServiceError::new(ErrorKind::ShuttingDown, "server is draining")
+                }
+            };
+            error_response(envelope.id.as_ref(), Some(op), &err)
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! End-to-end service tests over real TCP connections.
+//!
+//! The load-bearing property is the ISSUE-2 acceptance criterion:
+//! N concurrent clients issuing the same `count`/`simulate` queries get
+//! **byte-identical** responses to a serial single-client run, at 1, 2,
+//! and 8 worker threads. Triangle counts are exact and simulated cycles
+//! are deterministic by the PR-1 pipeline contract, so any divergence
+//! here is a service-layer bug (shared-state corruption, response
+//! cross-wiring, or nondeterministic payload fields).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+use tc_service::client::ServiceClient;
+use tc_service::json::Json;
+use tc_service::server::{spawn, ServerConfig, ServerHandle};
+
+fn server_with(workers: usize, queue_capacity: usize, deadline: Duration) -> ServerHandle {
+    spawn(ServerConfig {
+        workers,
+        queue_capacity,
+        default_deadline: deadline,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// The determinism workload: small datasets, both query kinds, several
+/// preprocessing variants. Each line carries a distinct id so responses
+/// are self-describing.
+fn workload() -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut id = 0;
+    for (dataset, ordering) in [
+        ("email-Eucore", "a-order"),
+        ("email-Eucore", "origin"),
+        ("email-Eucore", "d-order"),
+    ] {
+        id += 1;
+        lines.push(format!(
+            r#"{{"op":"count","dataset":"{dataset}","ordering":"{ordering}","id":{id}}}"#
+        ));
+    }
+    for algo in ["hu", "tricore"] {
+        id += 1;
+        lines.push(format!(
+            r#"{{"op":"simulate","dataset":"email-Eucore","algo":"{algo}","id":{id}}}"#
+        ));
+    }
+    lines
+}
+
+/// Runs the workload on one client; returns request-line → response-line.
+fn run_serial(addr: std::net::SocketAddr, lines: &[String]) -> BTreeMap<String, String> {
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    lines
+        .iter()
+        .map(|line| (line.clone(), client.request_raw(line).expect("query")))
+        .collect()
+}
+
+#[test]
+fn concurrent_responses_are_byte_identical_to_serial() {
+    let lines = workload();
+
+    // Serial baseline: fresh server, one client, one request at a time.
+    let baseline = {
+        let server = server_with(1, 64, Duration::from_secs(60));
+        let result = run_serial(server.addr(), &lines);
+        server.shutdown();
+        result
+    };
+    for line in &lines {
+        assert!(
+            baseline[line].contains("\"ok\":true"),
+            "baseline failed: {} -> {}",
+            line,
+            baseline[line]
+        );
+    }
+
+    for workers in [1, 2, 8] {
+        let server = server_with(workers, 64, Duration::from_secs(60));
+        let addr = server.addr();
+        const CLIENTS: usize = 3;
+        let results: Vec<BTreeMap<String, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let lines = &lines;
+                    scope.spawn(move || {
+                        // Stagger the per-client order so different keys
+                        // race through the registry and the pool.
+                        let mut rotated = lines.clone();
+                        rotated.rotate_left(c % lines.len());
+                        run_serial(addr, &rotated)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        server.shutdown();
+
+        for (c, result) in results.iter().enumerate() {
+            for line in &lines {
+                assert_eq!(
+                    result[line], baseline[line],
+                    "client {c} diverged from serial baseline at {workers} workers for {line}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_endpoint_answers() {
+    let server = server_with(2, 64, Duration::from_secs(60));
+    let mut client = ServiceClient::connect(server.addr()).expect("connect");
+    let queries = [
+        r#"{"op":"ping"}"#,
+        r#"{"op":"load","dataset":"email-Eucore"}"#,
+        r#"{"op":"count","dataset":"email-Eucore"}"#,
+        r#"{"op":"simulate","dataset":"email-Eucore","algo":"hu"}"#,
+        r#"{"op":"ktruss","dataset":"email-Eucore"}"#,
+        r#"{"op":"clustering","dataset":"email-Eucore"}"#,
+        r#"{"op":"recommend","dataset":"email-Eucore","source":0,"k":3}"#,
+        r#"{"op":"stats"}"#,
+        r#"{"op":"evict","dataset":"email-Eucore"}"#,
+        r#"{"op":"evict"}"#,
+    ];
+    for q in queries {
+        let v = client.request_ok(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{q}");
+    }
+    // The cache surface saw the load → count/simulate hits → evict.
+    let stats = client.request_ok(r#"{"op":"stats"}"#).expect("stats");
+    let cache = stats.get("cache").expect("cache section");
+    assert!(cache.get("hits").and_then(Json::as_u64).unwrap() >= 2);
+    assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(0));
+    server.shutdown();
+}
+
+#[test]
+fn overload_answers_structured_error_not_a_hang() {
+    // One worker, queue of one: a running sleep plus a queued sleep fill
+    // the service; the third request must be rejected immediately.
+    let server = server_with(1, 1, Duration::from_secs(60));
+    let addr = server.addr();
+
+    let blocker = std::thread::spawn(move || {
+        let mut c = ServiceClient::connect(addr).expect("connect");
+        c.request_raw(r#"{"op":"sleep","ms":600,"id":"run"}"#)
+            .expect("blocking sleep")
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = std::thread::spawn(move || {
+        let mut c = ServiceClient::connect(addr).expect("connect");
+        c.request_raw(r#"{"op":"sleep","ms":100,"id":"queued"}"#)
+            .expect("queued sleep")
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut c = ServiceClient::connect(addr).expect("connect");
+    let t = Instant::now();
+    let rejected = c
+        .request_raw(r#"{"op":"ping","id":"reject"}"#)
+        .expect("ping");
+    let elapsed = t.elapsed();
+    assert!(
+        rejected.contains(r#""error":"overloaded""#),
+        "expected overload rejection, got: {rejected}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(250),
+        "rejection must be immediate, took {elapsed:?}"
+    );
+
+    // The admitted requests still complete normally.
+    assert!(blocker.join().unwrap().contains(r#""ok":true"#));
+    assert!(queued.join().unwrap().contains(r#""ok":true"#));
+
+    let stats = c.request_ok(r#"{"op":"stats"}"#).expect("stats");
+    let queue = stats.get("queue").expect("queue section");
+    assert!(
+        queue
+            .get("rejected_overload")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn queued_request_past_deadline_is_expired_not_executed() {
+    // Default deadline 100ms; a 500ms sleep in front guarantees the
+    // queued ping exceeds it before a worker frees up.
+    let server = server_with(1, 8, Duration::from_millis(100));
+    let addr = server.addr();
+
+    let blocker = std::thread::spawn(move || {
+        let mut c = ServiceClient::connect(addr).expect("connect");
+        // Explicit long deadline so the sleep itself is not expired.
+        c.request_raw(r#"{"op":"sleep","ms":500,"deadline_ms":5000}"#)
+            .expect("sleep")
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut c = ServiceClient::connect(addr).expect("connect");
+    let expired = c.request_raw(r#"{"op":"ping"}"#).expect("ping");
+    assert!(
+        expired.contains(r#""error":"deadline_exceeded""#),
+        "expected deadline expiry, got: {expired}"
+    );
+    assert!(blocker.join().unwrap().contains(r#""ok":true"#));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_op_drains_and_exits() {
+    let server = server_with(2, 16, Duration::from_secs(60));
+    let addr = server.addr();
+
+    // Put real work in flight, then ask for shutdown from the protocol.
+    let inflight = std::thread::spawn(move || {
+        let mut c = ServiceClient::connect(addr).expect("connect");
+        c.request_raw(r#"{"op":"sleep","ms":300}"#).expect("sleep")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut c = ServiceClient::connect(addr).expect("connect");
+    let ack = c.request_raw(r#"{"op":"shutdown"}"#).expect("shutdown ack");
+    assert!(ack.contains(r#""ok":true"#), "{ack}");
+
+    // In-flight work still completes: the drain is graceful.
+    assert!(inflight.join().unwrap().contains(r#""ok":true"#));
+
+    // The server thread exits on its own; join() must not hang.
+    let t = Instant::now();
+    server.join();
+    assert!(t.elapsed() < Duration::from_secs(5), "drain took too long");
+
+    // And the port is actually released.
+    assert!(
+        ServiceClient::connect(addr).is_err() || {
+            // A connect may succeed briefly on some stacks (TIME_WAIT
+            // accept backlog); a request must then fail.
+            let mut c = ServiceClient::connect(addr).expect("connect");
+            c.request_raw(r#"{"op":"ping"}"#).is_err()
+        }
+    );
+}
+
+#[test]
+fn malformed_lines_get_structured_errors_and_the_connection_survives() {
+    let server = server_with(1, 8, Duration::from_secs(60));
+    let mut client = ServiceClient::connect(server.addr()).expect("connect");
+    let garbage = client.request_raw("this is not json").expect("garbage");
+    assert!(garbage.contains(r#""error":"bad_request""#), "{garbage}");
+    let unknown = client
+        .request_raw(r#"{"op":"count","dataset":"atlantis"}"#)
+        .expect("unknown dataset");
+    assert!(
+        unknown.contains(r#""error":"unknown_dataset""#),
+        "{unknown}"
+    );
+    // Same connection still serves good requests.
+    let ok = client.request_ok(r#"{"op":"ping"}"#).expect("ping");
+    assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+    server.shutdown();
+}

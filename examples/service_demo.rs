@@ -1,0 +1,82 @@
+//! Service demo + smoke test: start `tc-service` on an ephemeral port,
+//! issue one query per endpoint, and shut down gracefully.
+//!
+//! ```text
+//! cargo run --release --example service_demo
+//! ```
+//!
+//! `scripts/ci.sh` runs this as the service smoke test: every endpoint
+//! must answer `"ok":true` (the process exits non-zero otherwise, via
+//! the asserts), and the server must drain and join cleanly.
+
+use gpu_tc::service::client::ServiceClient;
+use gpu_tc::service::json::Json;
+use gpu_tc::service::server::{spawn, ServerConfig};
+
+fn main() {
+    // Ephemeral port (the default addr is 127.0.0.1:0), small pool.
+    let handle = spawn(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind server");
+    println!("tc-service listening on {}", handle.addr());
+
+    let mut client = ServiceClient::connect(handle.addr()).expect("connect");
+    let queries: &[(&str, &str)] = &[
+        ("ping", r#"{"op":"ping"}"#),
+        ("load", r#"{"op":"load","dataset":"email-Eucore"}"#),
+        ("count", r#"{"op":"count","dataset":"email-Eucore"}"#),
+        (
+            "simulate",
+            r#"{"op":"simulate","dataset":"email-Eucore","algo":"hu"}"#,
+        ),
+        ("ktruss", r#"{"op":"ktruss","dataset":"email-Eucore"}"#),
+        (
+            "clustering",
+            r#"{"op":"clustering","dataset":"email-Eucore"}"#,
+        ),
+        (
+            "recommend",
+            r#"{"op":"recommend","dataset":"email-Eucore","source":7,"k":3}"#,
+        ),
+        ("stats", r#"{"op":"stats"}"#),
+        ("evict", r#"{"op":"evict","dataset":"email-Eucore"}"#),
+    ];
+
+    for (endpoint, query) in queries {
+        let reply = client
+            .request_ok(query)
+            .unwrap_or_else(|e| panic!("{endpoint} failed: {e}"));
+        let summary = match *endpoint {
+            "count" | "simulate" => format!(
+                "triangles = {}",
+                reply
+                    .get("triangles")
+                    .and_then(Json::as_u64)
+                    .expect("triangles")
+            ),
+            "ktruss" => format!(
+                "max truss = {}",
+                reply
+                    .get("max_truss")
+                    .and_then(Json::as_u64)
+                    .expect("max_truss")
+            ),
+            "stats" => format!(
+                "cache entries = {}",
+                reply
+                    .get("cache")
+                    .and_then(|c| c.get("entries"))
+                    .and_then(Json::as_u64)
+                    .expect("cache.entries")
+            ),
+            _ => "ok".to_string(),
+        };
+        println!("  {endpoint:<10} -> {summary}");
+    }
+
+    // Graceful drain: in-flight work completes, every thread joins.
+    handle.shutdown();
+    println!("server drained and joined cleanly");
+}

@@ -14,4 +14,7 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> service smoke test (ephemeral port, one query per endpoint)"
+cargo run --release -q --example service_demo
+
 echo "==> ci.sh: all green"

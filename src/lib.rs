@@ -15,6 +15,9 @@
 //! - [`apps`] — the paper's motivating applications built on triangle
 //!   counting: k-truss decomposition, clustering coefficients, and
 //!   triangle-based link recommendation.
+//! - [`service`] — the serving layer: a concurrent TCP query server
+//!   with a preprocessed-graph registry (byte-budget LRU), a bounded
+//!   worker pool with admission control, and a metrics surface.
 //!
 //! ## Quickstart
 //!
@@ -42,3 +45,4 @@ pub use tc_core as core;
 pub use tc_datasets as datasets;
 pub use tc_gpusim as gpusim;
 pub use tc_graph as graph;
+pub use tc_service as service;
