@@ -14,5 +14,6 @@ pub mod grid;
 pub mod pipeline_bench;
 pub mod runner;
 pub mod serve_bench;
+pub mod stream_bench;
 
 pub use runner::{ExperimentEnv, RunMeasurement};

@@ -1,0 +1,304 @@
+//! Streaming benchmark: incremental triangle maintenance vs full
+//! recompute, per update batch.
+//!
+//! For each dataset and batch size, a deterministic stream of edge
+//! operations (half inserts of absent edges, half deletes of present
+//! ones) is applied two ways:
+//!
+//! - **incremental** — [`tc_stream::DynamicGraph::apply_batch`], which
+//!   pays one merge-intersection per changed edge;
+//! - **recompute** — rebuild the CSR from the updated edge list and run
+//!   the CPU forward counter from scratch, the cost a static pipeline
+//!   pays to answer the same "what is the count now?" question.
+//!
+//! Edge-set bookkeeping (sampling the batch, maintaining the shadow
+//! edge list) happens outside both timed regions, and both sides apply
+//! the *same* operations, with the counts cross-checked after every
+//! batch. `experiments -- stream-bench` renders the table and writes
+//! `BENCH_stream.json` (acceptance target: ≥10× for batches up to 1%
+//! of `|E|`).
+
+use crate::fmt::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::Instant;
+use tc_datasets::Dataset;
+use tc_graph::GraphBuilder;
+use tc_stream::{DynamicGraph, EdgeOp};
+
+/// Batches timed per (dataset, batch size) configuration.
+const REPS: usize = 6;
+
+/// One (dataset, batch size) measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamBenchRow {
+    /// Operations per batch.
+    pub batch_size: usize,
+    /// Batches timed.
+    pub batches: usize,
+    /// Mean incremental apply time per batch (µs).
+    pub inc_mean_us: f64,
+    /// Mean rebuild-and-recount time per batch (µs).
+    pub full_mean_us: f64,
+}
+
+impl StreamBenchRow {
+    /// Recompute / incremental time ratio — the streaming win.
+    pub fn speedup(&self) -> f64 {
+        if self.inc_mean_us > 0.0 {
+            self.full_mean_us / self.inc_mean_us
+        } else {
+            0.0
+        }
+    }
+}
+
+/// All batch sizes for one dataset.
+#[derive(Clone, Debug)]
+pub struct StreamBenchReport {
+    /// Dataset wire name.
+    pub dataset: String,
+    /// Edges in the starting graph.
+    pub edges: usize,
+    /// Triangles before any update.
+    pub triangles_start: u64,
+    /// Triangles after the last batch of the last configuration.
+    pub triangles_end: u64,
+    /// One row per batch size.
+    pub rows: Vec<StreamBenchRow>,
+}
+
+/// The benchmarked datasets. Both run batch sizes up to 1% of `|E|`, so
+/// the acceptance criterion (≥10× on ≥2 datasets) reads straight off
+/// the report.
+pub fn default_suite() -> Vec<Dataset> {
+    vec![Dataset::EmailEnron, Dataset::Gowalla]
+}
+
+/// Draws one batch: alternating inserts of currently-absent edges and
+/// deletes of currently-present ones, so the graph neither drains nor
+/// densifies over the run. Untimed bookkeeping.
+fn draw_batch(
+    rng: &mut StdRng,
+    n: u32,
+    edges: &mut Vec<(u32, u32)>,
+    present: &mut HashSet<(u32, u32)>,
+    batch_size: usize,
+) -> Vec<EdgeOp> {
+    let mut ops = Vec::with_capacity(batch_size);
+    for i in 0..batch_size {
+        if i % 2 == 0 {
+            // Insert an absent edge.
+            loop {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if present.insert(key) {
+                    edges.push(key);
+                    ops.push(EdgeOp::Insert(u, v));
+                    break;
+                }
+            }
+        } else if !edges.is_empty() {
+            // Delete a present edge.
+            let idx = rng.gen_range(0..edges.len());
+            let key = edges.swap_remove(idx);
+            present.remove(&key);
+            ops.push(EdgeOp::Delete(key.0, key.1));
+        }
+    }
+    ops
+}
+
+/// Runs one dataset through every batch size: 1, 16, 128, and 1% of
+/// `|E|` (the acceptance ceiling; smaller sizes show the per-update
+/// cost floor).
+fn run_dataset(dataset: Dataset) -> StreamBenchReport {
+    let base = tc_datasets::load(dataset);
+    let one_percent = (base.num_edges() / 100).max(1);
+    let mut batch_sizes = vec![1usize, 16, 128];
+    batch_sizes.retain(|&s| s < one_percent);
+    batch_sizes.push(one_percent);
+    let n = base.num_vertices() as u32;
+    let mut g = DynamicGraph::new(base.clone());
+    let triangles_start = g.triangles();
+
+    // Shadow edge list for batch sampling and the recompute side.
+    let mut edges: Vec<(u32, u32)> = base.edges().collect();
+    let mut present: HashSet<(u32, u32)> = edges.iter().copied().collect();
+    let mut rng = StdRng::seed_from_u64(0xBEEF ^ dataset.name().len() as u64);
+
+    let mut rows = Vec::with_capacity(batch_sizes.len());
+    for &batch_size in &batch_sizes {
+        let mut inc_us = 0u64;
+        let mut full_us = 0u64;
+        for _ in 0..REPS {
+            let ops = draw_batch(&mut rng, n, &mut edges, &mut present, batch_size);
+
+            let t = Instant::now();
+            let result = g.apply_batch(&ops);
+            inc_us += t.elapsed().as_micros() as u64;
+
+            let t = Instant::now();
+            let rebuilt = GraphBuilder::from_edges(n as usize, &edges).build();
+            let full_count = tc_algos::cpu::forward(&rebuilt);
+            full_us += t.elapsed().as_micros() as u64;
+
+            assert_eq!(
+                result.triangles,
+                full_count,
+                "incremental and recomputed counts diverged on {} (batch size {batch_size})",
+                dataset.name()
+            );
+        }
+        rows.push(StreamBenchRow {
+            batch_size,
+            batches: REPS,
+            inc_mean_us: inc_us as f64 / REPS as f64,
+            full_mean_us: full_us as f64 / REPS as f64,
+        });
+    }
+
+    StreamBenchReport {
+        dataset: dataset.name().to_string(),
+        edges: base.num_edges(),
+        triangles_start,
+        triangles_end: g.triangles(),
+        rows,
+    }
+}
+
+/// Runs the benchmark. `small` trims to EmailEucore (the CI smoke run).
+pub fn run(small: bool) -> Vec<StreamBenchReport> {
+    let suite = if small {
+        vec![Dataset::EmailEucore]
+    } else {
+        default_suite()
+    };
+    suite.into_iter().map(run_dataset).collect()
+}
+
+/// Renders the comparison as a text table.
+pub fn render(reports: &[StreamBenchReport]) -> String {
+    let mut t = Table::new([
+        "dataset",
+        "|E|",
+        "batch",
+        "incremental µs",
+        "recompute µs",
+        "speedup",
+    ]);
+    for report in reports {
+        for row in &report.rows {
+            t.row([
+                report.dataset.clone(),
+                report.edges.to_string(),
+                row.batch_size.to_string(),
+                format!("{:.1}", row.inc_mean_us),
+                format!("{:.1}", row.full_mean_us),
+                format!("{:.1}x", row.speedup()),
+            ]);
+        }
+    }
+    format!(
+        "Streaming updates: incremental maintenance vs full recompute (mean of {REPS} batches)\n{}",
+        t.render()
+    )
+}
+
+/// Machine-readable form (hand-rolled JSON; the workspace has no serde).
+pub fn to_json(reports: &[StreamBenchReport]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        "{{\n  \"benchmark\": \"stream-incremental-vs-recompute\",\n  \"cores\": {cores},\n  \"datasets\": [\n"
+    );
+    for (i, r) in reports.iter().enumerate() {
+        let rows: Vec<String> = r
+            .rows
+            .iter()
+            .map(|row| {
+                format!(
+                    "      {{\"batch_size\": {}, \"batches\": {}, \"inc_mean_us\": {:.2}, \
+                     \"full_mean_us\": {:.2}, \"speedup\": {:.3}}}",
+                    row.batch_size,
+                    row.batches,
+                    row.inc_mean_us,
+                    row.full_mean_us,
+                    row.speedup()
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"edges\": {}, \"triangles_start\": {}, \
+             \"triangles_end\": {}, \"rows\": [\n{}\n    ]}}{}\n",
+            r.dataset,
+            r.edges,
+            r.triangles_start,
+            r.triangles_end,
+            rows.join(",\n"),
+            if i + 1 < reports.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(inc: f64, full: f64) -> StreamBenchRow {
+        StreamBenchRow {
+            batch_size: 16,
+            batches: REPS,
+            inc_mean_us: inc,
+            full_mean_us: full,
+        }
+    }
+
+    #[test]
+    fn speedup_is_full_over_incremental() {
+        assert_eq!(row(10.0, 250.0).speedup(), 25.0);
+        assert_eq!(row(0.0, 250.0).speedup(), 0.0);
+    }
+
+    #[test]
+    fn json_shape_is_valid() {
+        let reports = vec![StreamBenchReport {
+            dataset: "email-Enron".into(),
+            edges: 77_954,
+            triangles_start: 1,
+            triangles_end: 2,
+            rows: vec![row(10.0, 250.0)],
+        }];
+        let json = to_json(&reports);
+        assert!(json.contains("\"speedup\": 25.000"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"batch_size\"").count(), 1);
+    }
+
+    #[test]
+    fn draw_batch_keeps_shadow_state_consistent() {
+        let base = tc_graph::generators::erdos_renyi(64, 128, 7);
+        let mut edges: Vec<(u32, u32)> = base.edges().collect();
+        let mut present: HashSet<(u32, u32)> = edges.iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let before = edges.len();
+        let ops = draw_batch(&mut rng, 64, &mut edges, &mut present, 10);
+        assert_eq!(ops.len(), 10);
+        assert_eq!(edges.len(), present.len());
+        // 5 inserts, 5 deletes: net size unchanged.
+        assert_eq!(edges.len(), before);
+        // Applying the ops to a dynamic graph reproduces the shadow set.
+        let mut g = DynamicGraph::new(base);
+        let r = g.apply_batch(&ops);
+        assert_eq!((r.rejected, r.noops), (0, 0), "drawn ops are all live");
+        assert_eq!(g.num_edges(), edges.len());
+    }
+}

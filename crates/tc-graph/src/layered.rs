@@ -1,0 +1,203 @@
+//! Layered adjacency: iterate a sorted neighbour list with a sorted
+//! overlay of insertions and deletions, without materializing the merge.
+//!
+//! This is the neighbour-iteration primitive of the dynamic-graph
+//! subsystem (`tc-stream`): a [`crate::CsrGraph`] stays immutable while a
+//! delta layer records edges added and removed since the last compaction.
+//! [`LayeredNeighbors`] walks the *effective* list — `(base ∪ add) \ del`
+//! — in ascending order, in `O(|base| + |add| + |del|)` with no
+//! allocation, so merge-intersections over layered neighbourhoods cost
+//! the same order as over plain CSR rows.
+
+use crate::VertexId;
+
+/// Sorted iterator over `(base ∪ add) \ del`.
+///
+/// Invariants assumed (and `debug_assert`ed at construction):
+/// - all three slices are sorted strictly ascending;
+/// - `add` is disjoint from `base` (an insert of an existing edge is a
+///   no-op upstream, never recorded);
+/// - `del ⊆ base` (a delete of a delta-inserted edge removes it from
+///   `add` upstream instead).
+#[derive(Clone, Debug)]
+pub struct LayeredNeighbors<'a> {
+    base: &'a [VertexId],
+    add: &'a [VertexId],
+    del: &'a [VertexId],
+}
+
+impl<'a> LayeredNeighbors<'a> {
+    /// A layered view over one vertex's lists.
+    pub fn new(base: &'a [VertexId], add: &'a [VertexId], del: &'a [VertexId]) -> Self {
+        debug_assert!(base.windows(2).all(|w| w[0] < w[1]), "base not sorted");
+        debug_assert!(add.windows(2).all(|w| w[0] < w[1]), "add not sorted");
+        debug_assert!(del.windows(2).all(|w| w[0] < w[1]), "del not sorted");
+        debug_assert!(
+            add.iter().all(|v| base.binary_search(v).is_err()),
+            "add must be disjoint from base"
+        );
+        debug_assert!(
+            del.iter().all(|v| base.binary_search(v).is_ok()),
+            "del must be a subset of base"
+        );
+        Self { base, add, del }
+    }
+
+    /// Effective degree: `|base| + |add| - |del|`.
+    pub fn len(&self) -> usize {
+        self.base.len() + self.add.len() - self.del.len()
+    }
+
+    /// Whether the effective list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test on the effective list (binary searches, no walk).
+    pub fn contains(&self, v: VertexId) -> bool {
+        if self.add.binary_search(&v).is_ok() {
+            return true;
+        }
+        self.base.binary_search(&v).is_ok() && self.del.binary_search(&v).is_err()
+    }
+}
+
+impl<'a> Iterator for LayeredNeighbors<'a> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        loop {
+            let b = self.base.first().copied();
+            let a = self.add.first().copied();
+            let next = match (b, a) {
+                (None, None) => return None,
+                // `add` is disjoint from `base`, so equality is impossible;
+                // take the smaller head.
+                (Some(b), Some(a)) if a < b => {
+                    self.add = &self.add[1..];
+                    return Some(a);
+                }
+                (None, Some(a)) => {
+                    self.add = &self.add[1..];
+                    return Some(a);
+                }
+                (Some(b), _) => b,
+            };
+            self.base = &self.base[1..];
+            // `del` is sorted like `base`: drop stale heads, then test.
+            while let Some(&d) = self.del.first() {
+                if d < next {
+                    self.del = &self.del[1..];
+                } else {
+                    break;
+                }
+            }
+            if self.del.first() == Some(&next) {
+                self.del = &self.del[1..];
+                continue; // deleted — skip
+            }
+            return Some(next);
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for LayeredNeighbors<'_> {}
+
+/// Counts `|a ∩ b|` of two ascending iterators by a two-pointer merge —
+/// the layered-adjacency form of `tc-algos`' `merge_count`, usable on
+/// [`LayeredNeighbors`] without materializing either side.
+pub fn merge_intersection_count(
+    mut a: impl Iterator<Item = VertexId>,
+    mut b: impl Iterator<Item = VertexId>,
+) -> u64 {
+    let mut count = 0u64;
+    let (mut x, mut y) = (a.next(), b.next());
+    while let (Some(u), Some(v)) = (x, y) {
+        match u.cmp(&v) {
+            std::cmp::Ordering::Less => x = a.next(),
+            std::cmp::Ordering::Greater => y = b.next(),
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                x = a.next();
+                y = b.next();
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(base: &[u32], add: &[u32], del: &[u32]) -> Vec<u32> {
+        LayeredNeighbors::new(base, add, del).collect()
+    }
+
+    #[test]
+    fn plain_base_passes_through() {
+        assert_eq!(collect(&[1, 3, 5], &[], &[]), vec![1, 3, 5]);
+        assert_eq!(collect(&[], &[], &[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn adds_interleave_in_order() {
+        assert_eq!(collect(&[2, 6], &[1, 4, 9], &[]), vec![1, 2, 4, 6, 9]);
+        assert_eq!(collect(&[], &[3, 7], &[]), vec![3, 7]);
+    }
+
+    #[test]
+    fn dels_are_skipped() {
+        assert_eq!(collect(&[1, 2, 3, 4], &[], &[2, 4]), vec![1, 3]);
+        assert_eq!(collect(&[1, 2], &[], &[1, 2]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn mixed_layers_match_reference_set_algebra() {
+        let base = [0, 2, 4, 6, 8];
+        let add = [1, 5, 9];
+        let del = [2, 8];
+        assert_eq!(collect(&base, &add, &del), vec![0, 1, 4, 5, 6, 9]);
+        let it = LayeredNeighbors::new(&base, &add, &del);
+        assert_eq!(it.len(), 6);
+        assert!(it.contains(5));
+        assert!(it.contains(6));
+        assert!(!it.contains(2));
+        assert!(!it.contains(7));
+    }
+
+    #[test]
+    fn exact_size_hint() {
+        let it = LayeredNeighbors::new(&[1, 2, 3], &[7], &[2]);
+        assert_eq!(it.size_hint(), (3, Some(3)));
+        assert_eq!(it.count(), 3);
+    }
+
+    #[test]
+    fn intersection_count_matches_naive() {
+        let a = [1u32, 3, 5, 7, 9];
+        let b = [2u32, 3, 4, 7, 10];
+        let naive = a.iter().filter(|v| b.contains(v)).count() as u64;
+        assert_eq!(
+            merge_intersection_count(a.iter().copied(), b.iter().copied()),
+            naive
+        );
+        assert_eq!(
+            merge_intersection_count(std::iter::empty(), b.iter().copied()),
+            0
+        );
+    }
+
+    #[test]
+    fn layered_intersection() {
+        // Effective lists: {1,4,6} and {4,5,6}.
+        let x = LayeredNeighbors::new(&[1, 2, 6], &[4], &[2]);
+        let y = LayeredNeighbors::new(&[4, 5], &[6], &[]);
+        assert_eq!(merge_intersection_count(x, y), 2);
+    }
+}

@@ -16,6 +16,9 @@
 //!   power-law configuration model, Erdős–Rényi, road-like lattices,
 //!   preferential attachment, Watts–Strogatz).
 //! - [`io`]: plain-text edge-list reading and writing.
+//! - [`layered`]: sorted neighbour iteration over a CSR row with an
+//!   insert/delete overlay — the primitive the dynamic-graph subsystem
+//!   (`tc-stream`) counts triangles against between compactions.
 //! - [`stats`]: degree statistics used by the paper's analytic models.
 //!
 //! All generators take explicit seeds and are fully deterministic, so every
@@ -28,6 +31,7 @@ pub mod csr;
 pub mod directed;
 pub mod generators;
 pub mod io;
+pub mod layered;
 pub mod orientation;
 pub mod permutation;
 pub mod stats;
@@ -35,6 +39,7 @@ pub mod stats;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use directed::DirectedGraph;
+pub use layered::LayeredNeighbors;
 pub use orientation::orient_by_rank;
 pub use permutation::Permutation;
 

@@ -54,6 +54,35 @@ impl ServiceClient {
         })
     }
 
+    /// Sends every request line in one write, then reads one response
+    /// line per request — exercising the server's pipelined path (all
+    /// requests enter the worker pool before the first response is
+    /// read). Responses come back in request order.
+    pub fn pipeline(&mut self, lines: &[&str]) -> std::io::Result<Vec<String>> {
+        let mut batch = String::new();
+        for line in lines {
+            batch.push_str(line);
+            batch.push('\n');
+        }
+        self.writer.write_all(batch.as_bytes())?;
+        let mut responses = Vec::with_capacity(lines.len());
+        for _ in lines {
+            let mut response = String::new();
+            let n = self.reader.read_line(&mut response)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-pipeline",
+                ));
+            }
+            while response.ends_with('\n') || response.ends_with('\r') {
+                response.pop();
+            }
+            responses.push(response);
+        }
+        Ok(responses)
+    }
+
     /// Sends a request and returns `Ok(payload)` if the server answered
     /// `"ok":true`, else the protocol error code as `Err`.
     pub fn request_ok(&mut self, line: &str) -> std::io::Result<Json> {

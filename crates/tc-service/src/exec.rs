@@ -76,6 +76,27 @@ fn target_members(t: &PrepTarget) -> Payload {
     ]
 }
 
+fn stream_members(info: &crate::registry::StreamInfo) -> Payload {
+    vec![
+        ("dataset".into(), s(info.dataset.name())),
+        ("nodes".into(), u(info.nodes as u64)),
+        ("edges".into(), u(info.edges as u64)),
+        ("triangles".into(), u(info.triangles)),
+        ("delta_edges".into(), u(info.delta_edges as u64)),
+        ("compaction_budget".into(), u(info.compaction_budget as u64)),
+        ("batches".into(), u(info.counters.batches)),
+        ("inserts".into(), u(info.counters.inserts)),
+        ("deletes".into(), u(info.counters.deletes)),
+        ("noops".into(), u(info.counters.noops)),
+        ("rejected".into(), u(info.counters.rejected)),
+        ("superseded".into(), u(info.counters.superseded)),
+        ("compactions".into(), u(info.counters.compactions)),
+        ("batch_p50_us".into(), u(info.batch_p50_us)),
+        ("batch_p99_us".into(), u(info.batch_p99_us)),
+        ("approx_bytes".into(), u(info.approx_bytes as u64)),
+    ]
+}
+
 impl Executor {
     /// Executes one request, returning the success payload or a
     /// structured error.
@@ -209,6 +230,42 @@ impl Executor {
                 let evicted = self.registry.clear();
                 Ok(vec![("evicted".into(), u(evicted as u64))])
             }
+            Request::Update { dataset, ops } => {
+                let r = self.registry.apply_update(*dataset, ops);
+                Ok(vec![
+                    ("dataset".into(), s(dataset.name())),
+                    ("inserted".into(), u(r.inserted as u64)),
+                    ("deleted".into(), u(r.deleted as u64)),
+                    ("noops".into(), u(r.noops as u64)),
+                    ("rejected".into(), u(r.rejected as u64)),
+                    ("superseded".into(), u(r.superseded as u64)),
+                    ("triangles_delta".into(), Json::Int(r.triangles_delta)),
+                    ("triangles".into(), u(r.triangles)),
+                    ("delta_edges".into(), u(r.delta_edges as u64)),
+                    ("compacted".into(), Json::Bool(r.compacted)),
+                ])
+            }
+            Request::StreamStats(Some(dataset)) => {
+                let info = self.registry.stream_info(*dataset).ok_or_else(|| {
+                    ServiceError::new(
+                        ErrorKind::Failed,
+                        format!(
+                            "dataset \"{}\" has no streaming state; send an update first",
+                            dataset.name()
+                        ),
+                    )
+                })?;
+                Ok(stream_members(&info))
+            }
+            Request::StreamStats(None) => {
+                let rows: Vec<Json> = self
+                    .registry
+                    .stream_infos()
+                    .iter()
+                    .map(|info| Json::Obj(stream_members(info)))
+                    .collect();
+                Ok(vec![("streams".into(), Json::Arr(rows))])
+            }
             Request::Stats => Ok(self.stats_payload()),
             // Shutdown is acknowledged by the connection layer (the
             // worker pool only sees it if routed in error).
@@ -278,8 +335,29 @@ impl Executor {
                     ("hits", u(reg.hits)),
                     ("misses", u(reg.misses)),
                     ("evictions", u(reg.evictions)),
+                    ("invalidations", u(reg.invalidations)),
                     ("raw_graphs", u(reg.raw_graphs as u64)),
+                    ("streams", u(reg.streams as u64)),
                 ]),
+            ),
+            (
+                "cache_entries".into(),
+                Json::Arr(
+                    self.registry
+                        .entry_details()
+                        .iter()
+                        .map(|d| {
+                            obj(vec![
+                                ("dataset", s(d.target.dataset.name())),
+                                ("direction", s(d.target.direction.name())),
+                                ("ordering", s(d.target.ordering.name())),
+                                ("bucket_size", u(d.target.bucket_size as u64)),
+                                ("bytes", u(d.bytes as u64)),
+                                ("idle_ms", u(d.idle_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
             ("ops".into(), Json::Obj(per_op)),
         ]
@@ -367,6 +445,78 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.kind, ErrorKind::Failed);
+    }
+
+    #[test]
+    fn update_shifts_count_and_ktruss_sees_it() {
+        let ex = executor();
+        let get = |p: &Payload, k: &str| {
+            p.iter()
+                .find(|(key, _)| key == k)
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap()
+        };
+        let before = get(
+            &run(&ex, r#"{"op":"count","dataset":"email-Eucore"}"#).unwrap(),
+            "triangles",
+        );
+        // Delete the first edge of the graph; count must drop or stay.
+        let g = ex.registry.graph(Dataset::EmailEucore);
+        let (u, v) = g.edges().next().unwrap();
+        let upd = run(
+            &ex,
+            &format!(r#"{{"op":"update","dataset":"email-Eucore","edges":[[{u},{v},"-"]]}}"#),
+        )
+        .unwrap();
+        assert_eq!(get(&upd, "deleted"), 1);
+        let after = get(&upd, "triangles");
+        assert!(after <= before);
+        // A fresh count query sees the mutated graph...
+        let counted = get(
+            &run(&ex, r#"{"op":"count","dataset":"email-Eucore"}"#).unwrap(),
+            "triangles",
+        );
+        assert_eq!(counted, after);
+        // ...and so does an application query (one fewer edge).
+        let ktruss = run(&ex, r#"{"op":"ktruss","dataset":"email-Eucore"}"#).unwrap();
+        let Json::Arr(rows) = ktruss
+            .iter()
+            .find(|(k, _)| k == "levels")
+            .map(|(_, v)| v.clone())
+            .unwrap()
+        else {
+            panic!("levels must be an array");
+        };
+        let total: u64 = rows
+            .iter()
+            .map(|r| r.get("edges").and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(total, g.num_edges() as u64 - 1);
+    }
+
+    #[test]
+    fn stream_stats_requires_a_stream_for_named_dataset() {
+        let ex = executor();
+        let err = run(&ex, r#"{"op":"stream-stats","dataset":"email-Eucore"}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Failed);
+        let all = run(&ex, r#"{"op":"stream-stats"}"#).unwrap();
+        let Json::Arr(rows) = &all[0].1 else {
+            panic!("streams must be an array");
+        };
+        assert!(rows.is_empty());
+
+        run(
+            &ex,
+            r#"{"op":"update","dataset":"email-Eucore","edges":[[0,0]]}"#,
+        )
+        .unwrap();
+        let one = run(&ex, r#"{"op":"stream-stats","dataset":"email-Eucore"}"#).unwrap();
+        let batches = one
+            .iter()
+            .find(|(k, _)| k == "batches")
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap();
+        assert_eq!(batches, 1);
     }
 
     #[test]

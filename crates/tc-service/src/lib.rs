@@ -9,13 +9,15 @@
 //!
 //! - [`registry`] — the preprocessed-graph cache, keyed by
 //!   `(dataset, direction scheme, ordering scheme, bucket size)` behind
-//!   a byte-budget LRU.
-//! - [`server`] — acceptor + connection threads + a bounded job queue
-//!   with admission control (overload ⇒ structured error, never
-//!   unbounded latency) + worker pool + graceful drain.
+//!   a byte-budget LRU, plus per-dataset streaming state (a
+//!   [`tc_stream::DynamicGraph`]) once a dataset is mutated.
+//! - [`server`] — acceptor + pipelined connection threads + a bounded
+//!   job queue with admission control (overload ⇒ structured error,
+//!   never unbounded latency) + worker pool + graceful drain.
 //! - [`protocol`] — the wire format: query ops `count`, `simulate`,
-//!   `ktruss`, `clustering`, `recommend`; admin ops `load`, `evict`,
-//!   `stats`, `ping`, `sleep`, `shutdown`.
+//!   `ktruss`, `clustering`, `recommend`; mutation op `update`; admin
+//!   ops `load`, `evict`, `stats`, `stream-stats`, `ping`, `sleep`,
+//!   `shutdown`.
 //! - [`exec`] — query execution against the shared state.
 //! - [`metrics`] — per-endpoint counters and latency histograms.
 //! - [`client`] — a minimal blocking client.
@@ -56,5 +58,5 @@ pub mod server;
 
 pub use client::ServiceClient;
 pub use protocol::{Op, PrepTarget, Request};
-pub use registry::{GraphRegistry, RegistryStats};
+pub use registry::{EntryDetail, GraphRegistry, RegistryStats, StreamInfo};
 pub use server::{spawn, ServerConfig, ServerHandle};

@@ -22,6 +22,13 @@
 use crate::json::{self, Json};
 use tc_core::{DirectionScheme, OrderingScheme};
 use tc_datasets::Dataset;
+use tc_stream::EdgeOp;
+
+/// Most edge operations one `update` request may carry. Larger streams
+/// must be split into multiple requests — this bounds both per-request
+/// parse memory and worker occupancy, the same way the queue bounds
+/// admission.
+pub const MAX_UPDATE_OPS: usize = 100_000;
 
 /// Query kinds and admin operations the server executes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,13 +55,19 @@ pub enum Op {
     /// Diagnostic: hold a worker for N milliseconds (backpressure and
     /// deadline testing).
     Sleep,
+    /// Apply a batch of edge inserts/deletes to a dataset's dynamic
+    /// graph; returns the new exact triangle count and the delta.
+    Update,
+    /// Admin: per-dataset streaming state (delta size, compactions,
+    /// batch latency quantiles).
+    StreamStats,
     /// Admin: graceful shutdown (drain in-flight work, then exit).
     Shutdown,
 }
 
 impl Op {
     /// Every op, in a fixed order (indexes the per-op metrics table).
-    pub const ALL: [Op; 11] = [
+    pub const ALL: [Op; 13] = [
         Op::Count,
         Op::Simulate,
         Op::Ktruss,
@@ -65,6 +78,8 @@ impl Op {
         Op::Stats,
         Op::Ping,
         Op::Sleep,
+        Op::Update,
+        Op::StreamStats,
         Op::Shutdown,
     ];
 
@@ -81,6 +96,8 @@ impl Op {
             Op::Stats => "stats",
             Op::Ping => "ping",
             Op::Sleep => "sleep",
+            Op::Update => "update",
+            Op::StreamStats => "stream-stats",
             Op::Shutdown => "shutdown",
         }
     }
@@ -139,6 +156,16 @@ pub enum Request {
     Ping,
     /// Hold a worker for this many milliseconds (capped at 5000).
     Sleep(u64),
+    /// Apply a batch of edge operations to `dataset`'s dynamic graph.
+    Update {
+        /// Dataset whose stream to mutate.
+        dataset: Dataset,
+        /// The edge operations, in request order (the dynamic graph
+        /// deduplicates last-wins and applies deterministically).
+        ops: Vec<EdgeOp>,
+    },
+    /// Streaming state for one dataset, or for every streamed dataset.
+    StreamStats(Option<Dataset>),
     /// Graceful shutdown.
     Shutdown,
 }
@@ -157,6 +184,8 @@ impl Request {
             Request::Stats => Op::Stats,
             Request::Ping => Op::Ping,
             Request::Sleep(_) => Op::Sleep,
+            Request::Update { .. } => Op::Update,
+            Request::StreamStats(_) => Op::StreamStats,
             Request::Shutdown => Op::Shutdown,
         }
     }
@@ -314,6 +343,59 @@ fn dataset_of(obj: &Json) -> Result<Dataset, ServiceError> {
     })
 }
 
+/// Parses the `"edges"` member of an `update` request: an array of
+/// `[u, v]` (insert) or `[u, v, "+"|"-"]` rows. Self-loops and
+/// out-of-range endpoints are *not* parse errors — the dynamic graph
+/// rejects them per-operation and reports them in the response, exactly
+/// as `GraphBuilder` drops them at ingest.
+fn edge_ops(obj: &Json) -> Result<Vec<EdgeOp>, ServiceError> {
+    let Some(Json::Arr(rows)) = obj.get("edges") else {
+        return Err(bad("missing array member \"edges\""));
+    };
+    if rows.len() > MAX_UPDATE_OPS {
+        return Err(bad(format!(
+            "\"edges\" carries {} operations, above the {MAX_UPDATE_OPS} per-request cap",
+            rows.len()
+        )));
+    }
+    let mut ops = Vec::with_capacity(rows.len());
+    for row in rows {
+        let Json::Arr(parts) = row else {
+            return Err(bad(
+                "each edge must be an array [u, v] or [u, v, \"+\"|\"-\"]",
+            ));
+        };
+        if parts.len() < 2 || parts.len() > 3 {
+            return Err(bad(
+                "each edge must be an array [u, v] or [u, v, \"+\"|\"-\"]",
+            ));
+        }
+        let endpoint = |p: &Json| {
+            p.as_u64()
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| bad("edge endpoints must be u32 integers"))
+        };
+        let u = endpoint(&parts[0])?;
+        let v = endpoint(&parts[1])?;
+        let insert = match parts.get(2) {
+            None => true,
+            Some(Json::Str(a)) if a == "+" || a.eq_ignore_ascii_case("insert") => true,
+            Some(Json::Str(a)) if a == "-" || a.eq_ignore_ascii_case("delete") => false,
+            Some(_) => {
+                return Err(bad(
+                    "edge action must be \"+\"/\"insert\" or \"-\"/\"delete\"",
+                ))
+            }
+        };
+        ops.push(if insert {
+            EdgeOp::Insert(u, v)
+        } else {
+            EdgeOp::Delete(u, v)
+        });
+    }
+    Ok(ops)
+}
+
 /// Parses one request line into an [`Envelope`].
 pub fn parse_request(line: &str) -> Result<Envelope, ServiceError> {
     let value = json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
@@ -383,6 +465,17 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServiceError> {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| bad("missing integer member \"ms\""))?;
             Request::Sleep(ms.min(5_000))
+        }
+        Op::Update => Request::Update {
+            dataset: dataset_of(&value)?,
+            ops: edge_ops(&value)?,
+        },
+        Op::StreamStats => {
+            if value.get("dataset").is_some() {
+                Request::StreamStats(Some(dataset_of(&value)?))
+            } else {
+                Request::StreamStats(None)
+            }
         }
         Op::Shutdown => Request::Shutdown,
     };
@@ -498,6 +591,51 @@ mod tests {
             err,
             r#"{"ok":false,"op":"count","error":"overloaded","message":"queue full"}"#
         );
+    }
+
+    #[test]
+    fn update_parses_edge_ops() {
+        let env = parse_request(
+            r#"{"op":"update","dataset":"email-Eucore","edges":[[1,2],[3,4,"+"],[5,6,"-"],[7,8,"delete"]]}"#,
+        )
+        .unwrap();
+        let Request::Update { dataset, ops } = env.request else {
+            panic!("wrong variant");
+        };
+        assert_eq!(dataset, Dataset::EmailEucore);
+        assert_eq!(
+            ops,
+            vec![
+                EdgeOp::Insert(1, 2),
+                EdgeOp::Insert(3, 4),
+                EdgeOp::Delete(5, 6),
+                EdgeOp::Delete(7, 8),
+            ]
+        );
+    }
+
+    #[test]
+    fn update_rejects_malformed_edges() {
+        for line in [
+            r#"{"op":"update","dataset":"email-Eucore"}"#,
+            r#"{"op":"update","dataset":"email-Eucore","edges":7}"#,
+            r#"{"op":"update","dataset":"email-Eucore","edges":[[1]]}"#,
+            r#"{"op":"update","dataset":"email-Eucore","edges":[[1,2,3,4]]}"#,
+            r#"{"op":"update","dataset":"email-Eucore","edges":[[1,"x"]]}"#,
+            r#"{"op":"update","dataset":"email-Eucore","edges":[[1,2,"*"]]}"#,
+            r#"{"op":"update","dataset":"email-Eucore","edges":[[1,2,0]]}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{line:?}");
+        }
+    }
+
+    #[test]
+    fn stream_stats_dataset_is_optional() {
+        let env = parse_request(r#"{"op":"stream-stats"}"#).unwrap();
+        assert_eq!(env.request, Request::StreamStats(None));
+        let env = parse_request(r#"{"op":"stream-stats","dataset":"gowalla"}"#).unwrap();
+        assert_eq!(env.request, Request::StreamStats(Some(Dataset::Gowalla)));
     }
 
     #[test]

@@ -23,15 +23,30 @@
 //! whole budget is returned but never admitted — a zero budget therefore
 //! turns the registry into a deliberate cache-bypass mode, which the
 //! cold-cache benchmark pass uses.
+//!
+//! A third layer arrived with `tc-stream`: **streaming state**
+//! (`Dataset` → [`tc_stream::DynamicGraph`]), created the first time an
+//! `update` touches a dataset. From then on the dataset's "current
+//! graph" is the stream's materialized view, every `update` invalidates
+//! the dataset's cached variants and memoised counts (tracked by
+//! [`RegistryStats::invalidations`]), and a per-dataset mutation epoch
+//! guarantees an in-flight preprocessing compute that raced the update
+//! is returned to its caller but never admitted to the cache. Lock
+//! discipline: the registry lock and a stream lock are never held
+//! together — every path acquires `inner`, releases it, then (maybe)
+//! takes one stream mutex, so no lock-order cycle can form.
 
+use crate::metrics::Histogram;
 use crate::protocol::PrepTarget;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 use tc_core::model::ModelParams;
 use tc_core::{PreprocessResult, Preprocessor};
 use tc_datasets::Dataset;
 use tc_graph::CsrGraph;
+use tc_stream::{BatchResult, DynamicGraph, EdgeOp, StreamCounters};
 
 /// Counters a registry exposes on the `stats` surface.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -51,6 +66,59 @@ pub struct RegistryStats {
     pub evictions: u64,
     /// Raw dataset stand-ins cached.
     pub raw_graphs: usize,
+    /// Datasets with live streaming (mutated) state.
+    pub streams: usize,
+    /// Entries dropped because their dataset was mutated by an `update`.
+    pub invalidations: u64,
+}
+
+/// One cached preprocessed variant, described for the `stats` surface:
+/// its cache key, its byte charge, and how long ago it was last touched.
+#[derive(Clone, Copy, Debug)]
+pub struct EntryDetail {
+    /// The cache key.
+    pub target: PrepTarget,
+    /// Bytes charged against the budget.
+    pub bytes: usize,
+    /// Milliseconds since this entry was last returned by a lookup.
+    pub idle_ms: u64,
+}
+
+/// Point-in-time streaming state of one dataset, for the `stream-stats`
+/// op.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamInfo {
+    /// The streamed dataset.
+    pub dataset: Dataset,
+    /// Vertices (fixed for the stream's lifetime).
+    pub nodes: usize,
+    /// Current undirected edge count.
+    pub edges: usize,
+    /// Current exact triangle count.
+    pub triangles: u64,
+    /// Edges diverging from the last compacted base snapshot.
+    pub delta_edges: usize,
+    /// The compaction threshold in force.
+    pub compaction_budget: usize,
+    /// Lifetime operation counters.
+    pub counters: StreamCounters,
+    /// Median per-batch apply latency (histogram upper bound, µs).
+    pub batch_p50_us: u64,
+    /// Tail per-batch apply latency (histogram upper bound, µs).
+    pub batch_p99_us: u64,
+    /// Approximate resident bytes (base CSR + overlay).
+    pub approx_bytes: usize,
+}
+
+/// Mutable streaming state for one dataset: the dynamic graph plus a
+/// lazily-materialized CSR of its current effective edge set (shared
+/// with every query that asks for "the raw graph"), plus a per-batch
+/// apply-latency histogram.
+struct StreamState {
+    graph: DynamicGraph,
+    /// `None` after any mutation; rebuilt (and cached) on next read.
+    materialized: Option<Arc<CsrGraph>>,
+    latency: Histogram,
 }
 
 /// A cached preprocessed variant plus memoised derived results.
@@ -92,6 +160,9 @@ struct Entry {
     bytes: usize,
     /// Monotonic touch tick; smallest = least recently used.
     last_used: u64,
+    /// Wall-clock of the last touch (the `stats` surface reports idle
+    /// time; the tick orders evictions).
+    last_used_at: Instant,
 }
 
 #[derive(Default)]
@@ -100,6 +171,16 @@ struct Inner {
     entries: HashMap<PrepTarget, Entry>,
     /// In-flight computations, for same-key dedup.
     pending: HashMap<PrepTarget, Arc<OnceLock<Arc<CachedPrep>>>>,
+    /// Streaming (mutated) state per dataset. The per-dataset mutex is
+    /// *outside* `Inner`'s lock: lock order is always `inner` →
+    /// (release) → stream, so a slow materialization or batch apply
+    /// never serializes unrelated registry lookups.
+    streams: HashMap<Dataset, Arc<Mutex<StreamState>>>,
+    /// Mutation epoch per dataset, bumped by every `update`. A
+    /// preprocessing compute snapshots the epoch before running and is
+    /// admitted only if it is unchanged at admission time — an in-flight
+    /// compute racing an update can never install a stale variant.
+    epochs: HashMap<Dataset, u64>,
     bytes: usize,
     tick: u64,
 }
@@ -113,6 +194,7 @@ pub struct GraphRegistry {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl GraphRegistry {
@@ -126,28 +208,48 @@ impl GraphRegistry {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
-    /// The raw stand-in for `dataset`, loading (and caching) it on first
-    /// use.
+    /// The current graph for `dataset`: the streamed (mutated) edge set
+    /// if an `update` ever touched this dataset, else the raw stand-in,
+    /// loading (and caching) it on first use.
     pub fn graph(&self, dataset: Dataset) -> Arc<CsrGraph> {
-        // Fast path under the lock; the generator runs outside it so an
-        // expensive load does not serialize unrelated lookups. Two racing
-        // first loads may both generate — the generators are deterministic,
-        // so either result is identical and one is dropped.
-        if let Some(g) = self
-            .inner
-            .lock()
-            .expect("registry lock")
-            .graphs
-            .get(&dataset)
-        {
-            return Arc::clone(g);
+        loop {
+            // Fast path under the lock; the generator runs outside it so
+            // an expensive load does not serialize unrelated lookups. Two
+            // racing first loads may both generate — the generators are
+            // deterministic, so either result is identical and one is
+            // dropped.
+            let stream = {
+                let inner = self.inner.lock().expect("registry lock");
+                if let Some(s) = inner.streams.get(&dataset) {
+                    Some(Arc::clone(s))
+                } else if let Some(g) = inner.graphs.get(&dataset) {
+                    return Arc::clone(g);
+                } else {
+                    None
+                }
+            };
+            if let Some(stream) = stream {
+                let mut st = stream.lock().expect("stream lock");
+                if let Some(m) = &st.materialized {
+                    return Arc::clone(m);
+                }
+                let m = Arc::new(st.graph.materialize());
+                st.materialized = Some(Arc::clone(&m));
+                return m;
+            }
+            let g = Arc::new(tc_datasets::load(dataset));
+            let mut inner = self.inner.lock().expect("registry lock");
+            if inner.streams.contains_key(&dataset) {
+                // A stream appeared while we generated: the raw stand-in
+                // may already be stale, so read through the stream.
+                continue;
+            }
+            return Arc::clone(inner.graphs.entry(dataset).or_insert(g));
         }
-        let g = Arc::new(tc_datasets::load(dataset));
-        let mut inner = self.inner.lock().expect("registry lock");
-        Arc::clone(inner.graphs.entry(dataset).or_insert(g))
     }
 
     /// The preprocessed variant for `key`: cached, or computed (and, if
@@ -159,17 +261,22 @@ impl GraphRegistry {
     /// The cache entry for `key` — the preprocessed variant plus its
     /// memoised derived results ([`CachedPrep::triangles`]).
     pub fn entry(&self, key: PrepTarget) -> Arc<CachedPrep> {
-        // Hit or get-or-insert the pending cell, under the lock.
-        let cell = {
+        // Hit or get-or-insert the pending cell, under the lock. The
+        // dataset's mutation epoch is snapshotted here: if an `update`
+        // lands while we preprocess, the epoch moves and the stale
+        // result is returned to this caller but never admitted.
+        let (cell, epoch) = {
             let mut inner = self.inner.lock().expect("registry lock");
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(entry) = inner.entries.get_mut(&key) {
                 entry.last_used = tick;
+                entry.last_used_at = Instant::now();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(&entry.cached);
             }
-            Arc::clone(inner.pending.entry(key).or_default())
+            let epoch = inner.epochs.get(&key.dataset).copied().unwrap_or(0);
+            (Arc::clone(inner.pending.entry(key).or_default()), epoch)
         };
 
         // Compute outside the lock. The OnceLock serializes same-key
@@ -196,11 +303,21 @@ impl GraphRegistry {
         }
 
         // The computing thread retires the pending cell and admits the
-        // entry (if it fits), evicting LRU victims to make room.
+        // entry (if it fits), evicting LRU victims to make room. Two
+        // guards against racing `update`s: only remove the pending cell
+        // if it is still *ours* (an invalidation may have replaced it),
+        // and only admit if the dataset's epoch is unchanged.
         let bytes = cached.prep().approx_bytes();
         let mut inner = self.inner.lock().expect("registry lock");
-        inner.pending.remove(&key);
-        if bytes <= self.budget {
+        if inner
+            .pending
+            .get(&key)
+            .is_some_and(|c| Arc::ptr_eq(c, &cell))
+        {
+            inner.pending.remove(&key);
+        }
+        let fresh = inner.epochs.get(&key.dataset).copied().unwrap_or(0) == epoch;
+        if fresh && bytes <= self.budget {
             self.evict_for(&mut inner, bytes);
             inner.tick += 1;
             let tick = inner.tick;
@@ -211,6 +328,7 @@ impl GraphRegistry {
                     cached: Arc::clone(&cached),
                     bytes,
                     last_used: tick,
+                    last_used_at: Instant::now(),
                 },
             );
         }
@@ -227,6 +345,134 @@ impl GraphRegistry {
             inner.bytes -= entry.bytes;
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Applies one batch of edge operations to `dataset`'s dynamic
+    /// graph, creating the streaming state on first touch (seeded from
+    /// the current raw stand-in), then invalidates every derived cache
+    /// for the dataset: the raw-graph memo, all preprocessed variants,
+    /// and any in-flight preprocessing compute's right to be admitted.
+    pub fn apply_update(&self, dataset: Dataset, ops: &[EdgeOp]) -> BatchResult {
+        let state = self.stream_state(dataset);
+        let start = Instant::now();
+        let result = {
+            let mut st = state.lock().expect("stream lock");
+            let result = st.graph.apply_batch(ops);
+            st.materialized = None;
+            st.latency.record(start.elapsed().as_micros() as u64);
+            result
+        };
+        self.invalidate(dataset);
+        result
+    }
+
+    /// The streaming state for `dataset`, created on first use.
+    fn stream_state(&self, dataset: Dataset) -> Arc<Mutex<StreamState>> {
+        if let Some(s) = self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .streams
+            .get(&dataset)
+        {
+            return Arc::clone(s);
+        }
+        // First touch: seed from the current graph, outside the registry
+        // lock (the initial full count is the expensive part — it is the
+        // last full count this dataset ever pays). Racing first touches
+        // both build; `or_insert` keeps one, and both are identical
+        // because the seed graph is.
+        let base = self.graph(dataset);
+        let graph = DynamicGraph::new((*base).clone());
+        let state = Arc::new(Mutex::new(StreamState {
+            graph,
+            materialized: Some(base),
+            latency: Histogram::default(),
+        }));
+        let mut inner = self.inner.lock().expect("registry lock");
+        Arc::clone(inner.streams.entry(dataset).or_insert(state))
+    }
+
+    /// Drops every derived cache for a mutated dataset and bumps its
+    /// epoch so racing preprocessing computes are not admitted.
+    fn invalidate(&self, dataset: Dataset) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        *inner.epochs.entry(dataset).or_insert(0) += 1;
+        inner.graphs.remove(&dataset);
+        let stale: Vec<PrepTarget> = inner
+            .entries
+            .keys()
+            .filter(|k| k.dataset == dataset)
+            .copied()
+            .collect();
+        for key in stale {
+            let entry = inner.entries.remove(&key).expect("stale key present");
+            inner.bytes -= entry.bytes;
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        // Detach in-flight computes for this dataset: their results are
+        // now stale, so the next lookup must start fresh rather than
+        // join them (the epoch guard stops them from admitting).
+        inner.pending.retain(|k, _| k.dataset != dataset);
+    }
+
+    /// Streaming snapshot for `dataset`, if it has ever been updated.
+    pub fn stream_info(&self, dataset: Dataset) -> Option<StreamInfo> {
+        let state = {
+            let inner = self.inner.lock().expect("registry lock");
+            inner.streams.get(&dataset).map(Arc::clone)?
+        };
+        let st = state.lock().expect("stream lock");
+        Some(StreamInfo {
+            dataset,
+            nodes: st.graph.num_vertices(),
+            edges: st.graph.num_edges(),
+            triangles: st.graph.triangles(),
+            delta_edges: st.graph.delta_edges(),
+            compaction_budget: st.graph.compaction_policy().max_delta_edges,
+            counters: st.graph.counters(),
+            batch_p50_us: st.latency.quantile_upper_us(0.50),
+            batch_p99_us: st.latency.quantile_upper_us(0.99),
+            approx_bytes: st.graph.approx_bytes(),
+        })
+    }
+
+    /// Streaming snapshots for every updated dataset, ordered by
+    /// dataset name (deterministic for the wire).
+    pub fn stream_infos(&self) -> Vec<StreamInfo> {
+        let mut datasets: Vec<Dataset> = {
+            let inner = self.inner.lock().expect("registry lock");
+            inner.streams.keys().copied().collect()
+        };
+        datasets.sort_by_key(|d| d.name());
+        datasets
+            .into_iter()
+            .filter_map(|d| self.stream_info(d))
+            .collect()
+    }
+
+    /// Per-entry cache description (bytes, idle time), ordered by cache
+    /// key for a deterministic wire layout.
+    pub fn entry_details(&self) -> Vec<EntryDetail> {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut details: Vec<EntryDetail> = inner
+            .entries
+            .iter()
+            .map(|(target, e)| EntryDetail {
+                target: *target,
+                bytes: e.bytes,
+                idle_ms: e.last_used_at.elapsed().as_millis() as u64,
+            })
+            .collect();
+        details.sort_by_key(|d| {
+            (
+                d.target.dataset.name(),
+                d.target.direction.name(),
+                d.target.ordering.name(),
+                d.target.bucket_size,
+            )
+        });
+        details
     }
 
     /// Whether `key` is currently cached (test/diagnostic surface).
@@ -251,7 +497,9 @@ impl GraphRegistry {
     }
 
     /// Evicts every variant and every raw stand-in; returns the number of
-    /// preprocessed entries dropped.
+    /// preprocessed entries dropped. Streaming state is *not* a cache —
+    /// it holds mutations with no other home — so it survives a clear
+    /// (and `graph` keeps reading through it).
     pub fn clear(&self) -> usize {
         let mut inner = self.inner.lock().expect("registry lock");
         let n = inner.entries.len();
@@ -272,6 +520,8 @@ impl GraphRegistry {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             raw_graphs: inner.graphs.len(),
+            streams: inner.streams.len(),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -381,5 +631,86 @@ mod tests {
         assert_eq!(r.clear(), 2);
         let s = r.stats();
         assert_eq!((s.entries, s.bytes, s.raw_graphs), (0, 0, 0));
+    }
+
+    #[test]
+    fn update_invalidates_cached_variants_and_counts() {
+        let r = registry(usize::MAX);
+        let a = key(Dataset::EmailEucore, OrderingScheme::AOrder);
+        let before = r.entry(a).triangles();
+        assert!(r.contains(&a));
+
+        // Find an absent edge so the update genuinely mutates.
+        let g = r.graph(Dataset::EmailEucore);
+        let (u, v) = (0..g.num_vertices() as u32)
+            .flat_map(|u| ((u + 1)..g.num_vertices() as u32).map(move |v| (u, v)))
+            .find(|&(u, v)| !g.has_edge(u, v))
+            .expect("graph is not complete");
+        let res = r.apply_update(Dataset::EmailEucore, &[EdgeOp::Insert(u, v)]);
+        assert_eq!(res.inserted, 1);
+
+        assert!(!r.contains(&a), "mutation must drop the stale variant");
+        let s = r.stats();
+        assert_eq!((s.streams, s.raw_graphs), (1, 0));
+        assert!(s.invalidations >= 1);
+
+        // The refreshed entry counts the mutated graph.
+        let after = r.entry(a).triangles();
+        assert_eq!(
+            after as i64,
+            before as i64 + res.triangles_delta,
+            "recount must see the inserted edge"
+        );
+        assert_eq!(after, res.triangles);
+
+        // And the raw-graph surface reads through the stream.
+        let m = r.graph(Dataset::EmailEucore);
+        assert!(m.has_edge(u, v));
+        assert_eq!(tc_algos::cpu::node_iterator(&m), res.triangles);
+    }
+
+    #[test]
+    fn update_then_revert_restores_the_original_count() {
+        let r = registry(usize::MAX);
+        let a = key(Dataset::EmailEucore, OrderingScheme::AOrder);
+        let before = r.entry(a).triangles();
+        let g = r.graph(Dataset::EmailEucore);
+        let (u, v) = g.edges().next().expect("graph has edges");
+        r.apply_update(Dataset::EmailEucore, &[EdgeOp::Delete(u, v)]);
+        let res = r.apply_update(Dataset::EmailEucore, &[EdgeOp::Insert(u, v)]);
+        assert_eq!(res.triangles, before);
+        assert_eq!(r.entry(a).triangles(), before);
+    }
+
+    #[test]
+    fn stream_info_reports_state() {
+        let r = registry(usize::MAX);
+        assert!(r.stream_info(Dataset::EmailEucore).is_none());
+        assert!(r.stream_infos().is_empty());
+        r.apply_update(
+            Dataset::EmailEucore,
+            &[EdgeOp::Insert(0, 0), EdgeOp::Insert(1, 1)],
+        );
+        let info = r.stream_info(Dataset::EmailEucore).expect("stream exists");
+        assert_eq!(info.counters.batches, 1);
+        assert_eq!(info.counters.rejected, 2);
+        assert_eq!(info.delta_edges, 0);
+        assert!(info.batch_p50_us > 0 || info.counters.batches > 0);
+        assert_eq!(r.stream_infos().len(), 1);
+    }
+
+    #[test]
+    fn entry_details_expose_bytes_and_idle_time() {
+        let r = registry(usize::MAX);
+        r.preprocessed(key(Dataset::EmailEucore, OrderingScheme::AOrder));
+        r.preprocessed(key(Dataset::EmailEucore, OrderingScheme::Original));
+        let details = r.entry_details();
+        assert_eq!(details.len(), 2);
+        for d in &details {
+            assert!(d.bytes > 0);
+            assert_eq!(d.target.dataset, Dataset::EmailEucore);
+        }
+        // Deterministic order: sorted by ordering name within a dataset.
+        assert!(details[0].target.ordering.name() <= details[1].target.ordering.name());
     }
 }

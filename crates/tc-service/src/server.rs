@@ -12,10 +12,12 @@
 //! kept trace memory in check, here it is the *admission control* — a
 //! full queue answers `overloaded` immediately instead of queueing
 //! unbounded latency, and a request that waited past its deadline is
-//! answered `deadline_exceeded` without executing. Each connection
-//! thread submits one request at a time and waits for its response, so
-//! responses are written in request order per connection while distinct
-//! connections share the pool.
+//! answered `deadline_exceeded` without executing. Connections are
+//! **pipelined**: a reader thread routes every arriving line into the
+//! pool immediately (a client may write many requests before reading
+//! any response), while the connection's writer resolves responses in
+//! submission order — so requests from one connection run concurrently
+//! across workers, yet answers always come back in request order.
 //!
 //! # Shutdown
 //!
@@ -303,7 +305,7 @@ fn serve(
                 let t = std::thread::Builder::new()
                     .name("tc-service-conn".into())
                     .spawn(move || {
-                        connection_loop(stream, &queue, &executor, &shutdown, default_deadline)
+                        connection_loop(stream, queue, executor, shutdown, default_deadline)
                     })
                     .expect("spawn connection thread");
                 conns.push(t);
@@ -375,43 +377,89 @@ fn worker_loop(queue: &JobQueue, executor: &Executor) {
     }
 }
 
-/// Connection thread: read a line, route it, write the response line.
+/// One routed request whose response line is owed to the client, in
+/// submission order.
+enum Pending {
+    /// Resolved at routing time: parse error, admission rejection, or a
+    /// shutdown acknowledgement.
+    Ready(String),
+    /// Admitted to the worker pool; the response arrives on `rx`.
+    Waiting {
+        rx: mpsc::Receiver<String>,
+        id: Option<Json>,
+        op: Op,
+    },
+}
+
+/// Connection threads: a reader that parses and routes every line *as it
+/// arrives* — so a client writing several requests back-to-back has all
+/// of them in the worker pool at once — and a writer (this thread) that
+/// resolves the routed requests in submission order. Responses therefore
+/// come back in request order even when the pool executes them out of
+/// order, which is the pipelining contract the protocol documents.
 fn connection_loop(
     stream: TcpStream,
-    queue: &JobQueue,
-    executor: &Executor,
-    shutdown: &AtomicBool,
+    queue: Arc<JobQueue>,
+    executor: Arc<Executor>,
+    shutdown: Arc<AtomicBool>,
     default_deadline: Duration,
 ) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut writer = stream;
-    let reader = BufReader::new(read_half);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = route_line(&line, queue, executor, shutdown, default_deadline);
+    let (tx, rx) = mpsc::channel::<Pending>();
+    let reader_thread = std::thread::Builder::new()
+        .name("tc-service-conn-read".into())
+        .spawn(move || {
+            let reader = BufReader::new(read_half);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let pending = route_line(&line, &queue, &executor, &shutdown, default_deadline);
+                if tx.send(pending).is_err() {
+                    break; // writer died; stop reading
+                }
+            }
+            // Dropping `tx` lets the writer drain what is owed and exit.
+        });
+    let Ok(reader_thread) = reader_thread else {
+        return;
+    };
+
+    for pending in rx {
+        let line = match pending {
+            Pending::Ready(line) => line,
+            Pending::Waiting { rx, id, op } => rx.recv().unwrap_or_else(|_| {
+                // Worker dropped the sender without responding — only
+                // possible if it panicked mid-execution.
+                let err = ServiceError::new(ErrorKind::Failed, "query execution failed");
+                error_response(id.as_ref(), Some(op), &err)
+            }),
+        };
         if writer
-            .write_all(response.as_bytes())
+            .write_all(line.as_bytes())
             .and_then(|_| writer.write_all(b"\n"))
             .is_err()
         {
             break;
         }
     }
+    let _ = reader_thread.join();
 }
 
-/// Parses and routes one request line, returning the response line.
+/// Parses and routes one request line. Admission (or synchronous
+/// rejection) happens here, on the reader thread; the response is
+/// produced later, in order, by the connection's writer.
 fn route_line(
     line: &str,
     queue: &JobQueue,
     executor: &Executor,
     shutdown: &AtomicBool,
     default_deadline: Duration,
-) -> String {
+) -> Pending {
     let envelope = match parse_request(line) {
         Ok(env) => env,
         Err(err) => {
@@ -419,7 +467,7 @@ fn route_line(
                 .metrics
                 .bad_requests
                 .fetch_add(1, Ordering::Relaxed);
-            return error_response(None, None, &err);
+            return Pending::Ready(error_response(None, None, &err));
         }
     };
 
@@ -427,11 +475,11 @@ fn route_line(
     // the flag the acceptor polls. In-flight work still drains.
     if matches!(envelope.request, Request::Shutdown) {
         shutdown.store(true, Ordering::SeqCst);
-        return ok_response(
+        return Pending::Ready(ok_response(
             envelope.id.as_ref(),
             Op::Shutdown,
             vec![("draining".into(), Json::Bool(true))],
-        );
+        ));
     }
 
     let op = envelope.request.op();
@@ -449,14 +497,10 @@ fn route_line(
     };
     executor.metrics.queue_entered();
     match queue.push(job) {
-        Ok(()) => match rx.recv() {
-            Ok(response) => response,
-            Err(_) => {
-                // Worker dropped the sender without responding — only
-                // possible if it panicked mid-execution.
-                let err = ServiceError::new(ErrorKind::Failed, "query execution failed");
-                error_response(envelope.id.as_ref(), Some(op), &err)
-            }
+        Ok(()) => Pending::Waiting {
+            rx,
+            id: envelope.id,
+            op,
         },
         Err(reason) => {
             executor.metrics.queue_left();
@@ -482,7 +526,7 @@ fn route_line(
                     ServiceError::new(ErrorKind::ShuttingDown, "server is draining")
                 }
             };
-            error_response(envelope.id.as_ref(), Some(op), &err)
+            Pending::Ready(error_response(envelope.id.as_ref(), Some(op), &err))
         }
     }
 }

@@ -122,6 +122,9 @@ fn every_endpoint_answers() {
         r#"{"op":"ktruss","dataset":"email-Eucore"}"#,
         r#"{"op":"clustering","dataset":"email-Eucore"}"#,
         r#"{"op":"recommend","dataset":"email-Eucore","source":0,"k":3}"#,
+        r#"{"op":"update","dataset":"email-Eucore","edges":[[0,1],[2,3,"-"]]}"#,
+        r#"{"op":"stream-stats"}"#,
+        r#"{"op":"stream-stats","dataset":"email-Eucore"}"#,
         r#"{"op":"stats"}"#,
         r#"{"op":"evict","dataset":"email-Eucore"}"#,
         r#"{"op":"evict"}"#,
@@ -246,6 +249,126 @@ fn shutdown_op_drains_and_exits() {
             let mut c = ServiceClient::connect(addr).expect("connect");
             c.request_raw(r#"{"op":"ping"}"#).is_err()
         }
+    );
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_and_overlap_in_the_pool() {
+    // One worker: if requests were submitted one-at-a-time the queue
+    // depth could never exceed 1. Writing the whole batch before reading
+    // any response must put several jobs in the pool at once.
+    let server = server_with(1, 64, Duration::from_secs(60));
+    let mut client = ServiceClient::connect(server.addr()).expect("connect");
+
+    let lines: Vec<String> = (0..8)
+        .map(|i| {
+            if i % 2 == 0 {
+                format!(r#"{{"op":"count","dataset":"email-Eucore","id":{i}}}"#)
+            } else {
+                format!(r#"{{"op":"ping","id":{i}}}"#)
+            }
+        })
+        .collect();
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let responses = client.pipeline(&refs).expect("pipelined batch");
+    assert_eq!(responses.len(), lines.len());
+    for (i, response) in responses.iter().enumerate() {
+        assert!(
+            response.starts_with(&format!(r#"{{"id":{i},"ok":true"#)),
+            "response {i} out of order or failed: {response}"
+        );
+    }
+
+    let stats = client.request_ok(r#"{"op":"stats"}"#).expect("stats");
+    let peak = stats
+        .get("queue")
+        .and_then(|q| q.get("peak"))
+        .and_then(Json::as_u64)
+        .expect("queue peak");
+    assert!(
+        peak >= 2,
+        "pipelined submissions never overlapped in the queue (peak {peak})"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_responses_match_serial_responses() {
+    let lines = workload();
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+
+    let server = server_with(4, 64, Duration::from_secs(60));
+    let serial = run_serial(server.addr(), &lines);
+    let mut client = ServiceClient::connect(server.addr()).expect("connect");
+    let piped = client.pipeline(&refs).expect("pipelined workload");
+    server.shutdown();
+
+    for (line, response) in lines.iter().zip(&piped) {
+        assert_eq!(
+            response, &serial[line],
+            "pipelined response diverged for {line}"
+        );
+    }
+}
+
+#[test]
+fn updates_are_visible_to_later_queries_and_deterministic_across_workers() {
+    // The same update batches applied through servers with different
+    // worker counts must land on identical final counts — the stream
+    // layer serializes per-dataset mutations regardless of pool size.
+    let batches = [
+        r#"{"op":"update","dataset":"email-Eucore","edges":[[10,20],[30,40],[50,60,"-"]]}"#,
+        r#"{"op":"update","dataset":"email-Eucore","edges":[[10,20,"-"],[70,80],[1,2]]}"#,
+        r#"{"op":"update","dataset":"email-Eucore","edges":[[5,6],[7,8],[9,10],[9,10,"-"]]}"#,
+    ];
+    let mut finals = Vec::new();
+    for workers in [1, 4] {
+        let server = server_with(workers, 64, Duration::from_secs(60));
+        let mut client = ServiceClient::connect(server.addr()).expect("connect");
+
+        let before = client
+            .request_ok(r#"{"op":"count","dataset":"email-Eucore"}"#)
+            .expect("count")
+            .get("triangles")
+            .and_then(Json::as_u64)
+            .expect("triangles");
+        let mut running = before as i64;
+        for batch in batches {
+            let v = client.request_ok(batch).expect("update");
+            let delta = match v.get("triangles_delta").expect("delta") {
+                Json::Int(d) => *d,
+                other => panic!("triangles_delta must be an integer, got {other:?}"),
+            };
+            running += delta;
+            assert_eq!(
+                v.get("triangles").and_then(Json::as_u64),
+                Some(running as u64),
+                "running delta sum diverged from reported count"
+            );
+        }
+
+        // A later count query reads the mutated graph, not a stale memo.
+        let after = client
+            .request_ok(r#"{"op":"count","dataset":"email-Eucore"}"#)
+            .expect("count after updates")
+            .get("triangles")
+            .and_then(Json::as_u64)
+            .expect("triangles");
+        assert_eq!(after as i64, running);
+
+        // And the application surface agrees with the stream surface.
+        let ss = client
+            .request_ok(r#"{"op":"stream-stats","dataset":"email-Eucore"}"#)
+            .expect("stream-stats");
+        assert_eq!(ss.get("triangles").and_then(Json::as_u64), Some(after));
+        assert_eq!(ss.get("batches").and_then(Json::as_u64), Some(3));
+
+        finals.push(after);
+        server.shutdown();
+    }
+    assert_eq!(
+        finals[0], finals[1],
+        "1-worker and 4-worker servers must agree on the final count"
     );
 }
 

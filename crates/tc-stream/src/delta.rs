@@ -1,0 +1,216 @@
+//! The delta-adjacency layer: sorted per-vertex insert/delete overlays
+//! kept symmetric, so `(base ∪ add) \ del` is always a valid undirected
+//! simple graph.
+//!
+//! Invariants (enforced here, relied on by [`crate::DynamicGraph`] and
+//! by [`tc_graph::LayeredNeighbors`]):
+//!
+//! - every list is sorted strictly ascending;
+//! - the overlay is symmetric: `v ∈ add(u) ⇔ u ∈ add(v)`, same for `del`;
+//! - `add` holds only edges absent from the base, `del` only edges
+//!   present in it — re-inserting a base edge whose delete is pending
+//!   *cancels* the delete instead of growing `add`, and deleting a
+//!   pending insert cancels the insert. The delta therefore measures the
+//!   true divergence from the base snapshot, which is what the
+//!   compaction budget must bound.
+
+use std::collections::HashMap;
+use tc_graph::VertexId;
+
+/// Which overlay a delta edge lives in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Layer {
+    /// Edge added on top of the base.
+    Add,
+    /// Base edge marked deleted.
+    Del,
+}
+
+/// Sorted insert/delete overlays over an immutable base CSR.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaAdjacency {
+    adds: HashMap<VertexId, Vec<VertexId>>,
+    dels: HashMap<VertexId, Vec<VertexId>>,
+    /// Undirected edges currently in the `add` overlay.
+    add_edges: usize,
+    /// Undirected edges currently in the `del` overlay.
+    del_edges: usize,
+}
+
+static EMPTY: [VertexId; 0] = [];
+
+fn list_insert(map: &mut HashMap<VertexId, Vec<VertexId>>, u: VertexId, v: VertexId) {
+    let list = map.entry(u).or_default();
+    if let Err(pos) = list.binary_search(&v) {
+        list.insert(pos, v);
+    }
+}
+
+fn list_remove(map: &mut HashMap<VertexId, Vec<VertexId>>, u: VertexId, v: VertexId) -> bool {
+    let Some(list) = map.get_mut(&u) else {
+        return false;
+    };
+    let Ok(pos) = list.binary_search(&v) else {
+        return false;
+    };
+    list.remove(pos);
+    if list.is_empty() {
+        map.remove(&u);
+    }
+    true
+}
+
+impl DeltaAdjacency {
+    /// An empty overlay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sorted list of neighbours added to `u` since the last compaction.
+    pub fn adds_of(&self, u: VertexId) -> &[VertexId] {
+        self.adds.get(&u).map_or(&EMPTY[..], Vec::as_slice)
+    }
+
+    /// Sorted list of base neighbours of `u` deleted since the last
+    /// compaction.
+    pub fn dels_of(&self, u: VertexId) -> &[VertexId] {
+        self.dels.get(&u).map_or(&EMPTY[..], Vec::as_slice)
+    }
+
+    /// Undirected edges diverging from the base (`|add| + |del|`) — the
+    /// quantity the compaction budget bounds.
+    pub fn len(&self) -> usize {
+        self.add_edges + self.del_edges
+    }
+
+    /// Whether the overlay is empty (the layered view equals the base).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Edges in the `add` overlay.
+    pub fn added_edges(&self) -> usize {
+        self.add_edges
+    }
+
+    /// Edges in the `del` overlay.
+    pub fn deleted_edges(&self) -> usize {
+        self.del_edges
+    }
+
+    /// Which layer, if any, holds the edge `{u, v}`.
+    pub(crate) fn layer_of(&self, u: VertexId, v: VertexId) -> Option<Layer> {
+        if self
+            .adds
+            .get(&u)
+            .is_some_and(|l| l.binary_search(&v).is_ok())
+        {
+            Some(Layer::Add)
+        } else if self
+            .dels
+            .get(&u)
+            .is_some_and(|l| l.binary_search(&v).is_ok())
+        {
+            Some(Layer::Del)
+        } else {
+            None
+        }
+    }
+
+    /// Records the insert of `{u, v}`. `in_base` says whether the base
+    /// CSR contains the edge: a base edge can only be (re-)inserted by
+    /// cancelling its pending delete.
+    pub(crate) fn record_insert(&mut self, u: VertexId, v: VertexId, in_base: bool) {
+        if in_base {
+            debug_assert_eq!(self.layer_of(u, v), Some(Layer::Del));
+            list_remove(&mut self.dels, u, v);
+            list_remove(&mut self.dels, v, u);
+            self.del_edges -= 1;
+        } else {
+            debug_assert_eq!(self.layer_of(u, v), None);
+            list_insert(&mut self.adds, u, v);
+            list_insert(&mut self.adds, v, u);
+            self.add_edges += 1;
+        }
+    }
+
+    /// Records the delete of `{u, v}`. `in_base` says whether the edge
+    /// lives in the base CSR (marked deleted) or in the `add` overlay
+    /// (cancelled).
+    pub(crate) fn record_delete(&mut self, u: VertexId, v: VertexId, in_base: bool) {
+        if in_base {
+            debug_assert_eq!(self.layer_of(u, v), None);
+            list_insert(&mut self.dels, u, v);
+            list_insert(&mut self.dels, v, u);
+            self.del_edges += 1;
+        } else {
+            debug_assert_eq!(self.layer_of(u, v), Some(Layer::Add));
+            list_remove(&mut self.adds, u, v);
+            list_remove(&mut self.adds, v, u);
+            self.add_edges -= 1;
+        }
+    }
+
+    /// Drops every overlay entry (after a compaction folded them into a
+    /// fresh base).
+    pub fn clear(&mut self) {
+        self.adds.clear();
+        self.dels.clear();
+        self.add_edges = 0;
+        self.del_edges = 0;
+    }
+
+    /// Approximate resident bytes of the overlay maps.
+    pub fn approx_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(VertexId, Vec<VertexId>)>();
+        let list_bytes = |m: &HashMap<VertexId, Vec<VertexId>>| {
+            m.values()
+                .map(|l| l.len() * std::mem::size_of::<VertexId>() + entry)
+                .sum::<usize>()
+        };
+        list_bytes(&self.adds) + list_bytes(&self.dels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_insert_and_cancel() {
+        let mut d = DeltaAdjacency::new();
+        d.record_insert(3, 1, false);
+        assert_eq!(d.adds_of(1), &[3]);
+        assert_eq!(d.adds_of(3), &[1]);
+        assert_eq!((d.len(), d.added_edges()), (1, 1));
+        assert_eq!(d.layer_of(1, 3), Some(Layer::Add));
+
+        d.record_delete(1, 3, false);
+        assert!(d.is_empty());
+        assert_eq!(d.adds_of(1), &[] as &[u32]);
+        assert_eq!(d.layer_of(1, 3), None);
+    }
+
+    #[test]
+    fn base_delete_and_reinsert_cancel() {
+        let mut d = DeltaAdjacency::new();
+        d.record_delete(5, 2, true);
+        assert_eq!(d.dels_of(2), &[5]);
+        assert_eq!(d.layer_of(5, 2), Some(Layer::Del));
+        assert_eq!(d.deleted_edges(), 1);
+
+        d.record_insert(2, 5, true);
+        assert!(d.is_empty());
+        assert_eq!(d.dels_of(5), &[] as &[u32]);
+    }
+
+    #[test]
+    fn lists_stay_sorted() {
+        let mut d = DeltaAdjacency::new();
+        for v in [9, 3, 7, 1] {
+            d.record_insert(0, v, false);
+        }
+        assert_eq!(d.adds_of(0), &[1, 3, 7, 9]);
+        assert_eq!(d.len(), 4);
+    }
+}

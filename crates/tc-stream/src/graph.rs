@@ -1,0 +1,537 @@
+//! The dynamic graph: a static [`CsrGraph`] snapshot plus a
+//! [`DeltaAdjacency`] overlay, with exact incremental triangle
+//! maintenance and threshold-triggered compaction.
+
+use crate::delta::{DeltaAdjacency, Layer};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tc_core::{PreprocessResult, Preprocessor};
+use tc_graph::layered::{merge_intersection_count, LayeredNeighbors};
+use tc_graph::{CsrGraph, VertexId};
+
+/// One streamed edge operation, in the original (pre-relabelling) id
+/// space. Endpoint order does not matter; self-loops and out-of-range
+/// endpoints are rejected at application time, mirroring what
+/// [`tc_graph::GraphBuilder`] drops at ingest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeOp {
+    /// Insert the undirected edge `{u, v}` (no-op if present).
+    Insert(VertexId, VertexId),
+    /// Delete the undirected edge `{u, v}` (no-op if absent).
+    Delete(VertexId, VertexId),
+}
+
+impl EdgeOp {
+    /// The endpoints, in the order given.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        match *self {
+            EdgeOp::Insert(u, v) | EdgeOp::Delete(u, v) => (u, v),
+        }
+    }
+
+    /// Whether this is an insert.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, EdgeOp::Insert(..))
+    }
+}
+
+/// When the delta overlay must be folded into a fresh base CSR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Compact once more than this many edges diverge from the base.
+    pub max_delta_edges: usize,
+}
+
+impl CompactionPolicy {
+    /// The default budget for a given base: an eighth of its edges, with
+    /// a floor of 256 so tiny graphs do not thrash. Keeping the overlay
+    /// a bounded fraction of `|E|` bounds both per-update overhead (the
+    /// overlay lists stay short) and compaction frequency (amortised
+    /// `O(1/8)` rebuilds per delta edge).
+    pub fn for_graph(g: &CsrGraph) -> Self {
+        Self {
+            max_delta_edges: (g.num_edges() / 8).max(256),
+        }
+    }
+
+    /// A fixed budget.
+    pub fn with_budget(max_delta_edges: usize) -> Self {
+        Self {
+            max_delta_edges: max_delta_edges.max(1),
+        }
+    }
+}
+
+/// Lifetime counters of one dynamic graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamCounters {
+    /// Batches applied.
+    pub batches: u64,
+    /// Edge inserts that changed the graph.
+    pub inserts: u64,
+    /// Edge deletes that changed the graph.
+    pub deletes: u64,
+    /// Operations that were valid but changed nothing (insert of a
+    /// present edge, delete of an absent one).
+    pub noops: u64,
+    /// Operations rejected outright (self-loops, out-of-range vertices).
+    pub rejected: u64,
+    /// Operations superseded by a later op on the same edge in the same
+    /// batch (last-wins dedup).
+    pub superseded: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+}
+
+/// Outcome of one [`DynamicGraph::apply_batch`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Inserts applied (graph changed).
+    pub inserted: usize,
+    /// Deletes applied (graph changed).
+    pub deleted: usize,
+    /// Valid no-op operations.
+    pub noops: usize,
+    /// Rejected operations (self-loop or out-of-range endpoint).
+    pub rejected: usize,
+    /// Operations dropped by last-wins dedup within the batch.
+    pub superseded: usize,
+    /// Signed triangle-count change this batch caused.
+    pub triangles_delta: i64,
+    /// Exact triangle count after the batch.
+    pub triangles: u64,
+    /// Whether this batch triggered a compaction.
+    pub compacted: bool,
+    /// Delta-overlay size after the batch (0 right after a compaction).
+    pub delta_edges: usize,
+}
+
+/// An undirected simple graph under a stream of edge inserts/deletes,
+/// maintaining its exact triangle count incrementally.
+///
+/// The representation is a static [`CsrGraph`] plus a sorted
+/// insert/delete overlay ([`DeltaAdjacency`]); neighbourhoods are read
+/// through [`LayeredNeighbors`] so per-update work is one
+/// merge-intersection of the two endpoints' effective adjacency lists —
+/// the same `|N(u) ∩ N(v)|` primitive the paper's kernels evaluate per
+/// directed edge, here evaluated once per *changed* edge instead of once
+/// per edge of the whole graph.
+///
+/// When the overlay outgrows [`CompactionPolicy::max_delta_edges`], the
+/// layered view is folded into a fresh base CSR and, if a
+/// [`Preprocessor`] is configured, the paper's A-direction/A-order
+/// preprocessing is re-run on the new base so downstream consumers (GPU
+/// kernels, the `tc-service` registry) get a fresh oriented variant.
+///
+/// # Determinism
+///
+/// [`apply_batch`](DynamicGraph::apply_batch) is a pure function of
+/// (current state, batch): operations are normalized (`u > v`
+/// swapped), deduplicated last-wins per edge, then applied in ascending
+/// `(u, v)` order. Two replicas that apply the same batches in the same
+/// order hold identical graphs and counts regardless of thread count or
+/// wall-clock — the differential suite enforces this.
+#[derive(Clone, Debug)]
+pub struct DynamicGraph {
+    base: CsrGraph,
+    delta: DeltaAdjacency,
+    triangles: u64,
+    num_edges: usize,
+    policy: CompactionPolicy,
+    preprocessor: Option<Preprocessor>,
+    prep: Option<Arc<PreprocessResult>>,
+    counters: StreamCounters,
+}
+
+impl DynamicGraph {
+    /// Wraps a base graph, computing its initial triangle count with the
+    /// CPU forward counter.
+    pub fn new(base: CsrGraph) -> Self {
+        let count = tc_algos::cpu::forward(&base);
+        Self::with_initial_count(base, count)
+    }
+
+    /// Wraps a base graph whose exact triangle count is already known
+    /// (e.g. memoised by a cache layer). Supplying a wrong count poisons
+    /// every later delta.
+    pub fn with_initial_count(base: CsrGraph, triangles: u64) -> Self {
+        let policy = CompactionPolicy::for_graph(&base);
+        let num_edges = base.num_edges();
+        Self {
+            base,
+            delta: DeltaAdjacency::new(),
+            triangles,
+            num_edges,
+            policy,
+            preprocessor: None,
+            prep: None,
+            counters: StreamCounters::default(),
+        }
+    }
+
+    /// Overrides the compaction policy.
+    pub fn policy(mut self, policy: CompactionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Re-runs this preprocessing pipeline on every compacted base (and
+    /// once now, so [`preprocessed`](DynamicGraph::preprocessed) is
+    /// immediately available).
+    pub fn preprocess_on_compaction(mut self, preprocessor: Preprocessor) -> Self {
+        self.prep = Some(Arc::new(preprocessor.run(&self.base)));
+        self.preprocessor = Some(preprocessor);
+        self
+    }
+
+    /// Number of vertices (fixed for the stream's lifetime).
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// Current number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Exact triangle count of the current graph.
+    pub fn triangles(&self) -> u64 {
+        self.triangles
+    }
+
+    /// Edges diverging from the base snapshot.
+    pub fn delta_edges(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// The compaction policy in force.
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        self.policy
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> StreamCounters {
+        self.counters
+    }
+
+    /// The base snapshot (current as of the last compaction).
+    pub fn base(&self) -> &CsrGraph {
+        &self.base
+    }
+
+    /// The preprocessed variant of the base snapshot, refreshed on every
+    /// compaction. `None` unless
+    /// [`preprocess_on_compaction`](DynamicGraph::preprocess_on_compaction)
+    /// configured a pipeline.
+    pub fn preprocessed(&self) -> Option<&Arc<PreprocessResult>> {
+        self.prep.as_ref()
+    }
+
+    /// Approximate resident bytes: base CSR plus overlay.
+    pub fn approx_bytes(&self) -> usize {
+        self.base.approx_bytes() + self.delta.approx_bytes()
+    }
+
+    /// Sorted effective neighbourhood of `u`.
+    pub fn neighbors(&self, u: VertexId) -> LayeredNeighbors<'_> {
+        LayeredNeighbors::new(
+            self.base.neighbors(u),
+            self.delta.adds_of(u),
+            self.delta.dels_of(u),
+        )
+    }
+
+    /// Effective degree of `u`.
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Whether the edge `{u, v}` currently exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        match self.delta.layer_of(u, v) {
+            Some(Layer::Add) => true,
+            Some(Layer::Del) => false,
+            None => self.base.has_edge(u, v),
+        }
+    }
+
+    /// `|N(u) ∩ N(v)|` over the layered adjacency — the number of
+    /// triangles the edge `{u, v}` participates in (whether or not the
+    /// edge itself exists).
+    pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> u64 {
+        merge_intersection_count(self.neighbors(u), self.neighbors(v))
+    }
+
+    /// Applies one batch of edge operations atomically and
+    /// deterministically; returns the batch outcome (including the new
+    /// exact triangle count).
+    ///
+    /// Within a batch, later operations on the same edge supersede
+    /// earlier ones (the surviving set is applied in ascending edge
+    /// order), so the result depends only on the batch *content*, never
+    /// on scheduling.
+    pub fn apply_batch(&mut self, ops: &[EdgeOp]) -> BatchResult {
+        let n = self.num_vertices() as u64;
+        let mut rejected = 0usize;
+
+        // Normalize and dedup last-wins: the surviving op per edge is the
+        // batch's final intent for that edge.
+        let mut last: HashMap<(VertexId, VertexId), bool> = HashMap::new();
+        let mut total_valid = 0usize;
+        for op in ops {
+            let (a, b) = op.endpoints();
+            if a == b || a as u64 >= n || b as u64 >= n {
+                rejected += 1;
+                continue;
+            }
+            total_valid += 1;
+            let key = if a < b { (a, b) } else { (b, a) };
+            last.insert(key, op.is_insert());
+        }
+        let superseded = total_valid - last.len();
+        let mut surviving: Vec<((VertexId, VertexId), bool)> = last.into_iter().collect();
+        surviving.sort_unstable();
+
+        // Apply in edge order, updating the count *before* mutating on
+        // insert and after reading on delete — either way the edge
+        // {u, v} itself never appears in N(u) ∩ N(v), so the
+        // merge-intersection is the exact triangle delta.
+        let mut inserted = 0usize;
+        let mut deleted = 0usize;
+        let mut noops = 0usize;
+        let mut tri_delta = 0i64;
+        for ((u, v), is_insert) in surviving {
+            let layer = self.delta.layer_of(u, v);
+            let present = match layer {
+                Some(Layer::Add) => true,
+                Some(Layer::Del) => false,
+                None => self.base.has_edge(u, v),
+            };
+            if is_insert {
+                if present {
+                    noops += 1;
+                    continue;
+                }
+                let closed = self.common_neighbors(u, v) as i64;
+                tri_delta += closed;
+                self.delta
+                    .record_insert(u, v, matches!(layer, Some(Layer::Del)));
+                self.num_edges += 1;
+                inserted += 1;
+            } else {
+                if !present {
+                    noops += 1;
+                    continue;
+                }
+                let opened = self.common_neighbors(u, v) as i64;
+                tri_delta -= opened;
+                self.delta.record_delete(u, v, layer.is_none());
+                self.num_edges -= 1;
+                deleted += 1;
+            }
+        }
+        self.triangles = (self.triangles as i64 + tri_delta) as u64;
+
+        let compacted = self.delta.len() > self.policy.max_delta_edges;
+        if compacted {
+            self.compact();
+        }
+
+        self.counters.batches += 1;
+        self.counters.inserts += inserted as u64;
+        self.counters.deletes += deleted as u64;
+        self.counters.noops += noops as u64;
+        self.counters.rejected += rejected as u64;
+        self.counters.superseded += superseded as u64;
+
+        BatchResult {
+            inserted,
+            deleted,
+            noops,
+            rejected,
+            superseded,
+            triangles_delta: tri_delta,
+            triangles: self.triangles,
+            compacted,
+            delta_edges: self.delta.len(),
+        }
+    }
+
+    /// Folds the overlay into a fresh base CSR now, regardless of the
+    /// policy. No-op (and `false`) when the overlay is empty.
+    pub fn force_compact(&mut self) -> bool {
+        if self.delta.is_empty() {
+            return false;
+        }
+        self.compact();
+        true
+    }
+
+    fn compact(&mut self) {
+        self.base = self.materialize();
+        self.delta.clear();
+        self.counters.compactions += 1;
+        if let Some(pre) = &self.preprocessor {
+            self.prep = Some(Arc::new(pre.run(&self.base)));
+        }
+    }
+
+    /// Builds the current effective graph as a standalone CSR (one pass
+    /// over the layered adjacency; the stream itself is unchanged).
+    pub fn materialize(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::with_capacity(2 * self.num_edges);
+        for u in 0..n as VertexId {
+            neighbors.extend(self.neighbors(u));
+            offsets.push(neighbors.len());
+        }
+        CsrGraph::from_parts(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_algos::cpu;
+    use tc_graph::GraphBuilder;
+
+    fn path4() -> CsrGraph {
+        GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).build()
+    }
+
+    #[test]
+    fn insert_closes_triangles() {
+        let mut g = DynamicGraph::new(path4());
+        assert_eq!(g.triangles(), 0);
+        let r = g.apply_batch(&[EdgeOp::Insert(0, 2)]);
+        assert_eq!(r.inserted, 1);
+        assert_eq!(r.triangles_delta, 1);
+        assert_eq!(g.triangles(), 1);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(0, 2));
+
+        // Completing K4 one edge at a time.
+        let r = g.apply_batch(&[EdgeOp::Insert(3, 0)]);
+        assert_eq!(r.triangles_delta, 1, "0-3 closes 0-2-3");
+        let r = g.apply_batch(&[EdgeOp::Insert(1, 3)]);
+        assert_eq!(r.triangles_delta, 2, "1-3 closes 0-1-3 and 1-2-3");
+        assert_eq!(g.triangles(), 4, "K4 has four triangles");
+    }
+
+    #[test]
+    fn delete_reopens_triangles() {
+        let g0 = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).build();
+        let mut g = DynamicGraph::new(g0);
+        assert_eq!(g.triangles(), 1);
+        let r = g.apply_batch(&[EdgeOp::Delete(2, 0)]);
+        assert_eq!(r.deleted, 1);
+        assert_eq!(r.triangles_delta, -1);
+        assert_eq!(g.triangles(), 0);
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_and_noops_are_classified() {
+        let mut g = DynamicGraph::new(path4());
+        let r = g.apply_batch(&[
+            EdgeOp::Insert(1, 1),  // self-loop
+            EdgeOp::Insert(0, 99), // out of range
+            EdgeOp::Insert(0, 1),  // already present
+            EdgeOp::Delete(0, 3),  // already absent
+            EdgeOp::Insert(0, 2),  // real insert
+        ]);
+        assert_eq!((r.rejected, r.noops, r.inserted, r.deleted), (2, 2, 1, 0));
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn last_wins_dedup_within_a_batch() {
+        let mut g = DynamicGraph::new(path4());
+        // Insert then delete the same edge: final intent is delete of an
+        // absent edge — a no-op, graph unchanged.
+        let r = g.apply_batch(&[EdgeOp::Insert(0, 2), EdgeOp::Delete(2, 0)]);
+        assert_eq!((r.inserted, r.deleted, r.noops, r.superseded), (0, 0, 1, 1));
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.has_edge(0, 2));
+
+        // Delete an existing edge then re-insert it: net no-op.
+        let r = g.apply_batch(&[EdgeOp::Delete(0, 1), EdgeOp::Insert(1, 0)]);
+        assert_eq!((r.noops, r.superseded), (1, 1));
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn batch_result_is_independent_of_op_order() {
+        let ops_a = [
+            EdgeOp::Insert(0, 2),
+            EdgeOp::Insert(1, 3),
+            EdgeOp::Delete(1, 2),
+        ];
+        let ops_b = [
+            EdgeOp::Delete(1, 2),
+            EdgeOp::Insert(1, 3),
+            EdgeOp::Insert(0, 2),
+        ];
+        let mut ga = DynamicGraph::new(path4());
+        let mut gb = DynamicGraph::new(path4());
+        let ra = ga.apply_batch(&ops_a);
+        let rb = gb.apply_batch(&ops_b);
+        assert_eq!(ra, rb, "distinct-edge batches commute");
+        assert_eq!(ga.materialize(), gb.materialize());
+    }
+
+    #[test]
+    fn compaction_folds_and_preserves_everything() {
+        let base = path4();
+        let mut g = DynamicGraph::new(base)
+            .policy(CompactionPolicy::with_budget(2))
+            .preprocess_on_compaction(Preprocessor::new());
+        let before_prep = Arc::clone(g.preprocessed().expect("initial prep"));
+
+        let r = g.apply_batch(&[
+            EdgeOp::Insert(0, 2),
+            EdgeOp::Insert(1, 3),
+            EdgeOp::Insert(0, 3),
+        ]);
+        assert!(r.compacted, "3 delta edges > budget 2");
+        assert_eq!(r.delta_edges, 0);
+        assert_eq!(g.counters().compactions, 1);
+        assert_eq!(g.base().num_edges(), 6);
+        assert_eq!(g.triangles(), cpu::node_iterator(g.base()));
+
+        let after_prep = g.preprocessed().expect("refreshed prep");
+        assert!(
+            !Arc::ptr_eq(&before_prep, after_prep),
+            "compaction must re-run preprocessing"
+        );
+        assert_eq!(
+            cpu::directed_count(after_prep.directed()),
+            g.triangles(),
+            "refreshed variant counts the same triangles"
+        );
+    }
+
+    #[test]
+    fn force_compact_on_clean_graph_is_a_noop() {
+        let mut g = DynamicGraph::new(path4());
+        assert!(!g.force_compact());
+        g.apply_batch(&[EdgeOp::Insert(0, 2)]);
+        assert!(g.force_compact());
+        assert_eq!(g.delta_edges(), 0);
+        assert_eq!(g.base().num_edges(), 4);
+    }
+
+    #[test]
+    fn materialize_matches_rebuilt_graph() {
+        let mut g = DynamicGraph::new(path4());
+        g.apply_batch(&[EdgeOp::Insert(0, 2), EdgeOp::Delete(2, 3)]);
+        let m = g.materialize();
+        assert!(m.validate().is_ok());
+        let rebuilt = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (0, 2)]).build();
+        assert_eq!(m, rebuilt);
+        assert_eq!(g.triangles(), cpu::node_iterator(&m));
+    }
+}

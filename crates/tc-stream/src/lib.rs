@@ -1,0 +1,51 @@
+//! # tc-stream — dynamic graphs with incremental triangle maintenance
+//!
+//! The paper amortises preprocessing over a *static* graph and
+//! `tc-service` amortises it across *queries*; this crate closes the
+//! remaining gap — a **live edge stream**. A [`DynamicGraph`] keeps the
+//! exact triangle count fresh under arbitrary interleavings of edge
+//! inserts and deletes, at per-update cost proportional to the two
+//! endpoints' degrees instead of a full recount (`BENCH_stream.json`
+//! quantifies the gap: ≥10× per batch for batches up to 1% of `|E|`).
+//!
+//! Three ideas, mirroring the rest of the workspace:
+//!
+//! 1. **Layered adjacency** — the graph is an immutable
+//!    [`tc_graph::CsrGraph`] snapshot plus a sorted insert/delete overlay
+//!    ([`delta::DeltaAdjacency`]); neighbourhoods are read through
+//!    [`tc_graph::LayeredNeighbors`], so every read stays a sorted merge
+//!    and the CSR the paper's kernels rely on never mutates in place.
+//! 2. **Per-update merge-intersection deltas** — inserting or deleting
+//!    `{u, v}` changes the triangle count by exactly
+//!    `|N(u) ∩ N(v)|`, evaluated over the layered view; batches are
+//!    deduplicated (last-wins per edge) and applied in ascending edge
+//!    order, making the outcome a pure function of (state, batch).
+//! 3. **Threshold compaction** — once the overlay outgrows a budget
+//!    ([`CompactionPolicy`]), it is folded into a fresh base CSR and the
+//!    paper's A-direction/A-order preprocessing re-runs
+//!    ([`DynamicGraph::preprocess_on_compaction`]), so the amortised
+//!    cost of keeping an oriented, kernel-ready variant stays bounded.
+//!
+//! ```
+//! use tc_stream::{DynamicGraph, EdgeOp};
+//! use tc_graph::GraphBuilder;
+//!
+//! let base = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).build();
+//! let mut g = DynamicGraph::new(base);
+//! let r = g.apply_batch(&[EdgeOp::Insert(0, 2), EdgeOp::Insert(1, 3)]);
+//! assert_eq!(r.triangles, 2); // 0-1-2 and 1-2-3 both closed
+//! let r = g.apply_batch(&[EdgeOp::Delete(1, 2)]);
+//! assert_eq!(r.triangles_delta, -2);
+//! assert_eq!(g.triangles(), 0);
+//! ```
+//!
+//! The differential test suite (`tests/stream_differential.rs`) drives
+//! random insert/delete batches over generated graphs and checks the
+//! maintained count against a fresh CPU recount of the materialized
+//! graph after every batch, at one and many threads.
+
+pub mod delta;
+pub mod graph;
+
+pub use delta::DeltaAdjacency;
+pub use graph::{BatchResult, CompactionPolicy, DynamicGraph, EdgeOp, StreamCounters};

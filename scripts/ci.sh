@@ -17,4 +17,7 @@ cargo test -q
 echo "==> service smoke test (ephemeral port, one query per endpoint)"
 cargo run --release -q --example service_demo
 
+echo "==> stream smoke test (incremental vs recompute, small suite)"
+cargo run --release -q -p tc-bench --bin experiments -- stream-bench --small
+
 echo "==> ci.sh: all green"

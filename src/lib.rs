@@ -18,6 +18,9 @@
 //! - [`service`] — the serving layer: a concurrent TCP query server
 //!   with a preprocessed-graph registry (byte-budget LRU), a bounded
 //!   worker pool with admission control, and a metrics surface.
+//! - [`stream`] — the dynamic-graph subsystem: exact incremental
+//!   triangle maintenance under edge insert/delete streams, with a
+//!   delta-adjacency layer and threshold-triggered compaction.
 //!
 //! ## Quickstart
 //!
@@ -46,3 +49,4 @@ pub use tc_datasets as datasets;
 pub use tc_gpusim as gpusim;
 pub use tc_graph as graph;
 pub use tc_service as service;
+pub use tc_stream as stream;
