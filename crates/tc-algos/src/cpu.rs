@@ -4,14 +4,25 @@
 //! baselines the GPU literature compares against (node-iterator,
 //! edge-iterator, forward — Schank & Wagner's taxonomy, Section 2.2.1 of
 //! the paper), and a Shun-style multicore counter built on scoped threads.
+//!
+//! Except for the deliberately naive [`node_iterator`] (the ground truth
+//! everything else is tested against) and the [`hashed_count`] baseline,
+//! every counter here runs on the adaptive intersection engine
+//! ([`crate::engine`]): the `*_with` variants take an explicit
+//! [`Kernel`] and [`Scratch`] so callers with long-lived working memory
+//! (services, streams, benchmarks) get zero-allocation hot loops, and the
+//! plain variants default to [`Kernel::Adaptive`] on the thread-local
+//! scratch.
 
-use crate::intersect::merge_count;
+use crate::engine::{self, with_thread_scratch, Kernel, Scratch};
 use tc_graph::{orient_by_rank, CsrGraph, DirectedGraph};
 
 /// Node-iterator: for every vertex, test every neighbour pair for an edge.
 ///
 /// Each triangle `u < v < w` is counted exactly once, at its smallest
-/// vertex. `O(Σ d(v)²)` — the slowest classical baseline.
+/// vertex. `O(Σ d(v)²)` — the slowest classical baseline. Kept off the
+/// engine on purpose: it is the independent reference the differential
+/// suites compare every kernel against.
 pub fn node_iterator(g: &CsrGraph) -> u64 {
     let mut count = 0u64;
     for u in g.vertices() {
@@ -34,23 +45,31 @@ pub fn node_iterator(g: &CsrGraph) -> u64 {
 /// lists. Every triangle is seen from its three edges, so the sum is
 /// divided by three.
 pub fn edge_iterator(g: &CsrGraph) -> u64 {
-    let mut total = 0u64;
-    for (u, v) in g.edges() {
-        total += merge_count(g.neighbors(u), g.neighbors(v), None);
-    }
-    debug_assert_eq!(total % 3, 0, "each triangle must be seen thrice");
-    total / 3
+    with_thread_scratch(|scratch| {
+        let mut total = 0u64;
+        for (u, v) in g.edges() {
+            total +=
+                engine::intersect_count(Kernel::Adaptive, g.neighbors(u), g.neighbors(v), scratch);
+        }
+        debug_assert_eq!(total % 3, 0, "each triangle must be seen thrice");
+        total / 3
+    })
 }
 
 /// The forward algorithm: orient edges from lower to higher (degree, id)
 /// rank, then count directed wedges that close. `O(m^{3/2})`.
 pub fn forward(g: &CsrGraph) -> u64 {
+    with_thread_scratch(|scratch| forward_with(g, Kernel::Adaptive, scratch))
+}
+
+/// [`forward`] under an explicit kernel and caller-owned scratch.
+pub fn forward_with(g: &CsrGraph, kernel: Kernel, scratch: &mut Scratch) -> u64 {
     let rank: Vec<u64> = g
         .vertices()
         .map(|u| ((g.degree(u) as u64) << 32) | u as u64)
         .collect();
     let oriented = orient_by_rank(g, &rank);
-    directed_count(&oriented)
+    directed_count_with(&oriented, kernel, scratch)
 }
 
 /// The canonical exact counter on an oriented graph: for each directed
@@ -59,20 +78,19 @@ pub fn forward(g: &CsrGraph) -> u64 {
 /// Every GPU algorithm in this workspace must agree with this function —
 /// the integration suite enforces it.
 pub fn directed_count(g: &DirectedGraph) -> u64 {
-    let mut count = 0u64;
-    for u in g.vertices() {
-        for &v in g.out_neighbors(u) {
-            count += merge_count(g.out_neighbors(u), g.out_neighbors(v), None);
-        }
-    }
-    count
+    with_thread_scratch(|scratch| directed_count_with(g, Kernel::Adaptive, scratch))
+}
+
+/// [`directed_count`] under an explicit kernel and caller-owned scratch.
+pub fn directed_count_with(g: &DirectedGraph, kernel: Kernel, scratch: &mut Scratch) -> u64 {
+    engine::directed_triangles(g, kernel, scratch)
 }
 
 /// Hash-based counter (the second strategy in Shun & Tangwongsan's
 /// multicore study): each vertex's out-neighbourhood goes into a hash set
 /// once, then every wedge does an `O(1)` membership probe instead of a
-/// merge. Wins when out-degrees are very skewed; loses the cache-friendly
-/// sequential scans of the merge.
+/// merge. Kept as the seed-era baseline the engine's stamp array replaces
+/// — `cpu-bench` measures both so the win stays visible.
 pub fn hashed_count(g: &DirectedGraph) -> u64 {
     use std::collections::HashSet;
     let mut count = 0u64;
@@ -96,7 +114,8 @@ pub fn hashed_count(g: &DirectedGraph) -> u64 {
 }
 
 /// Shun-style multicore counter: vertex ranges processed by scoped worker
-/// threads, partial sums combined at the end. Exact and deterministic.
+/// threads, each with its own [`Scratch`], partial sums combined at the
+/// end. Exact and deterministic at every thread count.
 pub fn parallel_count(g: &DirectedGraph, num_threads: usize) -> u64 {
     let num_threads = num_threads.max(1);
     let n = g.num_vertices();
@@ -110,11 +129,10 @@ pub fn parallel_count(g: &DirectedGraph, num_threads: usize) -> u64 {
             let start = (t * chunk).min(n);
             let end = ((t + 1) * chunk).min(n);
             scope.spawn(move || {
+                let mut scratch = Scratch::new();
                 let mut local = 0u64;
                 for u in start as u32..end as u32 {
-                    for &v in g.out_neighbors(u) {
-                        local += merge_count(g.out_neighbors(u), g.out_neighbors(v), None);
-                    }
+                    local += engine::vertex_triangles(g, u, Kernel::Adaptive, &mut scratch);
                 }
                 *out = local;
             });
@@ -200,6 +218,21 @@ mod tests {
             let rank: Vec<u64> = g.vertices().map(u64::from).collect();
             let d = orient_by_rank(&g, &rank);
             assert_eq!(hashed_count(&d), directed_count(&d), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_kernel_matches_directed_count() {
+        let g = power_law_configuration(500, 2.1, 8.0, 11);
+        let expect = node_iterator(&g);
+        let mut scratch = Scratch::new();
+        for kernel in Kernel::ALL {
+            assert_eq!(
+                forward_with(&g, kernel, &mut scratch),
+                expect,
+                "kernel {}",
+                kernel.name()
+            );
         }
     }
 

@@ -1,0 +1,601 @@
+//! The adaptive zero-allocation intersection engine behind every CPU
+//! counting path.
+//!
+//! The paper's core observation (Section 4) is that intersection
+//! strategy must match list shape: intersecting a short list with a long
+//! one is **memory-transaction-bound** — a handful of probes into the
+//! long list beat streaming the whole thing — while two lists of similar
+//! length are **compute-bound** and the branch-friendly linear merge
+//! wins. The GPU kernels encode that choice statically; this module is
+//! the CPU mirror, with the choice made per pair (and per vertex) from
+//! the same size-ratio model:
+//!
+//! - [`Kernel::Merge`] — two-pointer linear merge, `O(|a| + |b|)`.
+//!   The seed implementation used this unconditionally.
+//! - [`Kernel::Galloping`] — exponential (galloping) search of each
+//!   element of the shorter list in the longer, with a monotone cursor;
+//!   `O(s · log(l/s))` total. Wins when `l ≫ s`.
+//! - [`Kernel::Bitmap`] — stamp-based membership array: mark one list
+//!   once, probe the other at `O(1)` per element. The stamp epoch makes
+//!   clearing free, so the array is reused across *every* intersection
+//!   a [`Scratch`] lives through. Wins when one list is pinned across
+//!   many probes (the per-vertex counting loops).
+//! - [`Kernel::Adaptive`] — the crossover selector: pin-and-probe at
+//!   the vertex level when the pinned list is long enough to amortise
+//!   marking, galloping when the ratio passes [`GALLOP_RATIO`], merge
+//!   otherwise.
+//!
+//! All kernels run against a caller-owned [`Scratch`], so the hot loop
+//! performs **zero heap allocation** once the scratch has warmed up:
+//! the stamp array grows to the vertex-id range once, and the staging
+//! buffers grow to the longest materialised list once.
+
+use crate::intersect::merge_count;
+use std::sync::Mutex;
+use tc_graph::{DirectedGraph, VertexId};
+
+/// Length ratio past which galloping search beats the linear merge.
+///
+/// Merge touches `s + l` elements; galloping touches about
+/// `s · (log₂(l/s) + 2)`. Equating the two, galloping wins once
+/// `l/s` exceeds roughly `log₂(l/s) + 1` — but its probes are
+/// data-dependent branches and cache misses while the merge is a
+/// predictable stream, so the empirical CPU crossover sits much higher
+/// than the operation counts suggest. 16 is conservative on every
+/// dataset in `BENCH_cpu.json`; the compute-vs-memory model of the
+/// paper predicts the same order of magnitude for its GPU kernels.
+pub const GALLOP_RATIO: usize = 16;
+
+/// Out-degree past which [`Kernel::Adaptive`] pins a vertex's
+/// neighbour list into the stamp array instead of merging per pair.
+///
+/// Pinning costs `d(u)` stamp writes and then answers each wedge in
+/// `d(v)` O(1) probes instead of a `d(u) + d(v)` merge, so it amortises
+/// almost immediately (sweeping this threshold in `BENCH_cpu.json`
+/// showed 4 and 2 within noise of each other, both far ahead of 8).
+/// The threshold only keeps degree-2/3 sources on the per-pair
+/// crossover path, where galloping still protects the worst case of a
+/// tiny source list probing a hub's long successor list.
+pub const PIN_DEGREE: usize = 4;
+
+/// An intersection strategy. `Adaptive` is the engine's decision mode;
+/// the fixed kernels exist so benchmarks and tests can pin a strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Two-pointer linear merge (the seed behaviour).
+    Merge,
+    /// Galloping (exponential) search of the shorter list in the longer.
+    Galloping,
+    /// Stamp-array mark-and-probe.
+    Bitmap,
+    /// Size-ratio crossover between the above.
+    Adaptive,
+}
+
+impl Kernel {
+    /// Every kernel, in benchmark-sweep order.
+    pub const ALL: [Kernel; 4] = [
+        Kernel::Merge,
+        Kernel::Galloping,
+        Kernel::Bitmap,
+        Kernel::Adaptive,
+    ];
+
+    /// Stable display / wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Merge => "merge",
+            Kernel::Galloping => "galloping",
+            Kernel::Bitmap => "bitmap",
+            Kernel::Adaptive => "adaptive",
+        }
+    }
+
+    /// Inverse of [`name`](Kernel::name).
+    pub fn from_name(name: &str) -> Option<Kernel> {
+        Kernel::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// Reusable per-thread working memory: the stamp array behind
+/// [`Kernel::Bitmap`] plus two staging buffers for intersections whose
+/// operands only exist as iterators (layered adjacency in `tc-stream`).
+///
+/// Everything inside is a pure cache — dropping or swapping a `Scratch`
+/// never changes any count — and every buffer grows monotonically, so a
+/// long-lived scratch (thread-local, pooled, or owned by a
+/// `DynamicGraph`) makes the counting loops allocation-free.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// `stamps[v] == epoch` ⇔ `v` is in the currently-marked set.
+    stamps: Vec<u32>,
+    epoch: u32,
+    buf_a: Vec<VertexId>,
+    buf_b: Vec<VertexId>,
+}
+
+/// Cloning a scratch yields a fresh empty one: the contents are a pure
+/// cache, and the clone path (e.g. `DynamicGraph: Clone`) must not pay
+/// for — or share — megabytes of stamp array.
+impl Clone for Scratch {
+    fn clone(&self) -> Self {
+        Scratch::default()
+    }
+}
+
+impl Scratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resident bytes (diagnostics; the service `stats` surface).
+    pub fn approx_bytes(&self) -> usize {
+        self.stamps.capacity() * std::mem::size_of::<u32>()
+            + (self.buf_a.capacity() + self.buf_b.capacity()) * std::mem::size_of::<VertexId>()
+    }
+
+    /// Grows the stamp array to cover vertex ids `< n`. New slots are
+    /// stamped 0, which is never the live epoch.
+    fn ensure(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+    }
+
+    /// Starts a new marked set. Free except once every `u32::MAX`
+    /// generations, when the array is rewritten to forget stale stamps.
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Marks `list` as the current set (previous marks are forgotten).
+    pub fn mark(&mut self, list: &[VertexId]) {
+        if let Some(&max) = list.last() {
+            self.ensure(max as usize + 1);
+        }
+        let epoch = self.next_epoch();
+        for &v in list {
+            self.stamps[v as usize] = epoch;
+        }
+    }
+
+    /// Whether `v` is in the marked set.
+    #[inline]
+    pub fn is_marked(&self, v: VertexId) -> bool {
+        self.stamps
+            .get(v as usize)
+            .is_some_and(|&s| s == self.epoch)
+    }
+
+    /// How many elements of `list` are in the marked set.
+    pub fn count_marked(&self, list: &[VertexId]) -> u64 {
+        // `list` may contain ids beyond the marked range (the marked
+        // list's maximum bounds the stamp array); `is_marked` treats
+        // those as absent.
+        list.iter().filter(|&&v| self.is_marked(v)).count() as u64
+    }
+
+    /// Merge-intersects two sorted slices into an internal reusable
+    /// buffer and returns the common elements. For callers that need the
+    /// elements themselves (support counters, recommendation scoring)
+    /// without owning a staging vector.
+    pub fn collect_common(&mut self, a: &[VertexId], b: &[VertexId]) -> &[VertexId] {
+        let mut buf = std::mem::take(&mut self.buf_a);
+        buf.clear();
+        crate::intersect::merge_collect(a, b, &mut buf);
+        self.buf_a = buf;
+        &self.buf_a
+    }
+
+    /// Intersection count of two sorted iterators: stages both into the
+    /// reusable buffers, then dispatches to `kernel` on the slices.
+    /// The staging path exists for operands without a contiguous
+    /// representation (layered adjacency); slice operands should call
+    /// [`intersect_count`] directly.
+    pub fn intersect_iters(
+        &mut self,
+        kernel: Kernel,
+        a: impl Iterator<Item = VertexId>,
+        b: impl Iterator<Item = VertexId>,
+    ) -> u64 {
+        let mut buf_a = std::mem::take(&mut self.buf_a);
+        let mut buf_b = std::mem::take(&mut self.buf_b);
+        buf_a.clear();
+        buf_b.clear();
+        buf_a.extend(a);
+        buf_b.extend(b);
+        let count = intersect_count(kernel, &buf_a, &buf_b, self);
+        self.buf_a = buf_a;
+        self.buf_b = buf_b;
+        count
+    }
+}
+
+/// Index of the first element of `list[from..]` that is `>= key`,
+/// found by galloping out from `from` then binary-searching the
+/// bracketed window.
+#[inline]
+fn lower_bound_gallop(list: &[VertexId], from: usize, key: VertexId) -> usize {
+    let n = list.len();
+    if from >= n || list[from] >= key {
+        return from;
+    }
+    // Invariant: list[lo] < key; hi is the galloping probe.
+    let mut lo = from;
+    let mut step = 1usize;
+    let mut hi = from + step;
+    while hi < n && list[hi] < key {
+        lo = hi;
+        step <<= 1;
+        hi = from + step;
+    }
+    let mut left = lo + 1;
+    let mut right = hi.min(n);
+    while left < right {
+        let mid = left + (right - left) / 2;
+        if list[mid] < key {
+            left = mid + 1;
+        } else {
+            right = mid;
+        }
+    }
+    left
+}
+
+/// Intersection count by galloping search: each element of the shorter
+/// list is located in the longer with an exponential probe from a
+/// monotone cursor, so total work is `O(s · log(l/s))` instead of the
+/// merge's `O(s + l)`.
+pub fn gallop_count(a: &[VertexId], b: &[VertexId]) -> u64 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut pos = 0usize;
+    let mut count = 0u64;
+    for &x in short {
+        pos = lower_bound_gallop(long, pos, x);
+        if pos == long.len() {
+            break;
+        }
+        if long[pos] == x {
+            count += 1;
+            pos += 1;
+        }
+    }
+    count
+}
+
+/// Intersection count via the stamp array: mark the shorter list, probe
+/// the longer. One-shot form of the pinned path; `O(s + l)` with `O(1)`
+/// probes and no comparisons.
+pub fn bitmap_count(a: &[VertexId], b: &[VertexId], scratch: &mut Scratch) -> u64 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    scratch.mark(short);
+    scratch.count_marked(long)
+}
+
+/// The crossover selector for one pair of sorted lists (the pairwise
+/// half of [`Kernel::Adaptive`]; the vertex loops also pin — see
+/// [`vertex_triangles`]).
+#[inline]
+fn adaptive_pair(a: &[VertexId], b: &[VertexId]) -> u64 {
+    let (s, l) = if a.len() <= b.len() {
+        (a.len(), b.len())
+    } else {
+        (b.len(), a.len())
+    };
+    if s == 0 {
+        0
+    } else if l / s >= GALLOP_RATIO {
+        gallop_count(a, b)
+    } else {
+        merge_count(a, b)
+    }
+}
+
+/// Exact `|a ∩ b|` of two sorted slices under the chosen kernel.
+pub fn intersect_count(
+    kernel: Kernel,
+    a: &[VertexId],
+    b: &[VertexId],
+    scratch: &mut Scratch,
+) -> u64 {
+    match kernel {
+        Kernel::Merge => merge_count(a, b),
+        Kernel::Galloping => gallop_count(a, b),
+        Kernel::Bitmap => bitmap_count(a, b, scratch),
+        Kernel::Adaptive => adaptive_pair(a, b),
+    }
+}
+
+/// Triangles through vertex `u` of an oriented graph:
+/// `Σ_{v ∈ N⁺(u)} |N⁺(u) ∩ N⁺(v)|`.
+///
+/// For [`Kernel::Bitmap`] — and for [`Kernel::Adaptive`] above
+/// [`PIN_DEGREE`] — `N⁺(u)` is marked once and every wedge endpoint is
+/// probed at `O(1)`, turning the per-vertex cost from
+/// `Σ_v (d(u) + d(v))` into `d(u) + Σ_v d(v)`.
+pub fn vertex_triangles(
+    g: &DirectedGraph,
+    u: VertexId,
+    kernel: Kernel,
+    scratch: &mut Scratch,
+) -> u64 {
+    let out_u = g.out_neighbors(u);
+    if out_u.len() < 2 {
+        // A triangle at u needs two out-edges; N⁺(u) ∩ N⁺(v) for the
+        // lone neighbour v cannot contain v itself (no self-loops).
+        return 0;
+    }
+    let pin = match kernel {
+        Kernel::Bitmap => true,
+        Kernel::Adaptive => out_u.len() >= PIN_DEGREE,
+        Kernel::Merge | Kernel::Galloping => false,
+    };
+    let mut count = 0u64;
+    if pin {
+        scratch.mark(out_u);
+        for &v in out_u {
+            count += scratch.count_marked(g.out_neighbors(v));
+        }
+    } else {
+        for &v in out_u {
+            count += match kernel {
+                Kernel::Merge => merge_count(out_u, g.out_neighbors(v)),
+                Kernel::Galloping => gallop_count(out_u, g.out_neighbors(v)),
+                Kernel::Bitmap | Kernel::Adaptive => adaptive_pair(out_u, g.out_neighbors(v)),
+            };
+        }
+    }
+    count
+}
+
+/// Exact triangle count of an oriented graph under the chosen kernel —
+/// the engine-backed replacement for the seed's merge-only
+/// `directed_count` loop.
+pub fn directed_triangles(g: &DirectedGraph, kernel: Kernel, scratch: &mut Scratch) -> u64 {
+    g.vertices()
+        .map(|u| vertex_triangles(g, u, kernel, scratch))
+        .sum()
+}
+
+/// Runs `f` against this thread's long-lived scratch. The default entry
+/// point for code without a better home for working memory (one scratch
+/// per OS thread ≈ one per service worker). Re-entrant calls fall back
+/// to a fresh scratch rather than aliasing the borrowed one.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    use std::cell::RefCell;
+    thread_local! {
+        static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut Scratch::new()),
+    })
+}
+
+/// A checkout/return pool of [`Scratch`] instances for worker crowds
+/// whose thread identities are unstable or whose working memory should
+/// be bounded and observable (the `tc-service` executor).
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: Mutex<Vec<Scratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a scratch (reusing a warm one when available); it
+    /// returns to the pool when the guard drops.
+    pub fn checkout(&self) -> PooledScratch<'_> {
+        let scratch = self
+            .pool
+            .lock()
+            .expect("scratch pool lock")
+            .pop()
+            .unwrap_or_default();
+        PooledScratch {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+
+    /// Number of idle pooled instances.
+    pub fn idle(&self) -> usize {
+        self.pool.lock().expect("scratch pool lock").len()
+    }
+
+    /// Total resident bytes across idle instances.
+    pub fn idle_bytes(&self) -> usize {
+        self.pool
+            .lock()
+            .expect("scratch pool lock")
+            .iter()
+            .map(Scratch::approx_bytes)
+            .sum()
+    }
+}
+
+/// RAII guard for a pooled [`Scratch`]; derefs to the scratch and
+/// returns it (warm) on drop.
+pub struct PooledScratch<'a> {
+    pool: &'a ScratchPool,
+    scratch: Option<Scratch>,
+}
+
+impl std::ops::Deref for PooledScratch<'_> {
+    type Target = Scratch;
+    fn deref(&self) -> &Scratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledScratch<'_> {
+    fn deref_mut(&mut self) -> &mut Scratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool.lock_pool_push(scratch);
+        }
+    }
+}
+
+impl ScratchPool {
+    fn lock_pool_push(&self, scratch: Scratch) {
+        // A poisoned pool just drops the scratch — it is a pure cache.
+        if let Ok(mut pool) = self.pool.lock() {
+            pool.push(scratch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersect::merge_count;
+
+    fn lists() -> Vec<(Vec<u32>, Vec<u32>)> {
+        vec![
+            (vec![], vec![]),
+            (vec![], vec![1, 2, 3]),
+            (vec![4], vec![4]),
+            (vec![1, 3, 5, 7], vec![2, 3, 5, 8]),
+            (vec![0, 1, 2, 3], vec![0, 1, 2, 3]),
+            ((0..200).step_by(3).collect(), (0..200).step_by(5).collect()),
+            (vec![7], (0..1000).collect()),
+            (vec![999], (0..1000).collect()),
+            (vec![1000], (0..1000).collect()),
+            ((0..1000).collect(), vec![0, 500, 999, 2000]),
+        ]
+    }
+
+    #[test]
+    fn every_kernel_matches_merge_on_fixtures() {
+        let mut scratch = Scratch::new();
+        for (a, b) in lists() {
+            let expect = merge_count(&a, &b);
+            for kernel in Kernel::ALL {
+                assert_eq!(
+                    intersect_count(kernel, &a, &b, &mut scratch),
+                    expect,
+                    "{} on {a:?} ∩ {b:?}",
+                    kernel.name()
+                );
+                // Symmetry.
+                assert_eq!(intersect_count(kernel, &b, &a, &mut scratch), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_gallop_agrees_with_partition_point() {
+        let list: Vec<u32> = (0..64).map(|i| i * 3).collect();
+        for from in [0usize, 1, 10, 63, 64] {
+            for key in 0..200u32 {
+                let got = lower_bound_gallop(&list, from, key);
+                let expect = from.max(list.partition_point(|&x| x < key));
+                assert_eq!(got, expect, "from={from} key={key}");
+            }
+        }
+    }
+
+    #[test]
+    fn stamp_epoch_wrap_resets_cleanly() {
+        let mut scratch = Scratch::new();
+        scratch.mark(&[1, 2, 3]);
+        scratch.epoch = u32::MAX; // simulate an ancient scratch
+        scratch.mark(&[2]);
+        assert!(scratch.is_marked(2));
+        assert!(!scratch.is_marked(1), "pre-wrap stamps must be forgotten");
+        assert!(!scratch.is_marked(3));
+    }
+
+    #[test]
+    fn marks_are_replaced_not_accumulated() {
+        let mut scratch = Scratch::new();
+        scratch.mark(&[1, 5, 9]);
+        assert_eq!(scratch.count_marked(&[1, 5, 9]), 3);
+        scratch.mark(&[2]);
+        assert_eq!(scratch.count_marked(&[1, 5, 9]), 0);
+        assert!(scratch.is_marked(2));
+    }
+
+    #[test]
+    fn probe_beyond_stamp_range_is_absent() {
+        let mut scratch = Scratch::new();
+        scratch.mark(&[1, 2]);
+        assert!(!scratch.is_marked(1_000_000));
+        assert_eq!(scratch.count_marked(&[1, 1_000_000]), 1);
+    }
+
+    #[test]
+    fn intersect_iters_stages_and_counts() {
+        let mut scratch = Scratch::new();
+        let a = [1u32, 3, 5, 7];
+        let b = [2u32, 3, 5, 8];
+        for kernel in Kernel::ALL {
+            assert_eq!(
+                scratch.intersect_iters(kernel, a.iter().copied(), b.iter().copied()),
+                2
+            );
+        }
+        assert!(scratch.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for kernel in Kernel::ALL {
+            assert_eq!(Kernel::from_name(kernel.name()), Some(kernel));
+        }
+        assert_eq!(Kernel::from_name("warp9"), None);
+    }
+
+    #[test]
+    fn pool_reuses_warm_scratch() {
+        let pool = ScratchPool::new();
+        {
+            let mut s = pool.checkout();
+            s.mark(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        }
+        assert_eq!(pool.idle(), 1);
+        let warm_bytes = pool.idle_bytes();
+        assert!(warm_bytes > 0);
+        {
+            let s = pool.checkout();
+            assert_eq!(pool.idle(), 0);
+            assert!(s.approx_bytes() >= warm_bytes, "checkout must reuse");
+        }
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn clone_is_fresh_and_cheap() {
+        let mut scratch = Scratch::new();
+        scratch.mark(&[1, 2, 3]);
+        let cloned = scratch.clone();
+        assert_eq!(cloned.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn thread_scratch_is_reentrant_safe() {
+        let outer = with_thread_scratch(|s| {
+            s.mark(&[1, 2]);
+            with_thread_scratch(|inner| {
+                inner.mark(&[3]);
+                inner.is_marked(3)
+            })
+        });
+        assert!(outer);
+    }
+}

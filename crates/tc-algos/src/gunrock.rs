@@ -134,7 +134,7 @@ impl GunrockKernel<'_> {
                 (steps, mem, tri)
             }
             Intersection::SortMerge => {
-                let tri = merge_count(a, b, None);
+                let tri = merge_count(a, b);
                 // Merge path: chunk boundaries found by diagonal binary
                 // searches (2 × log per chunk), then each chunk merges
                 // serially — one pointer advance per step.

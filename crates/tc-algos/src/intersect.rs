@@ -15,19 +15,42 @@ use tc_gpusim::search::SearchCosts;
 use tc_graph::VertexId;
 
 /// Exact size of the intersection of two sorted lists (two-pointer merge).
-pub fn merge_count(a: &[VertexId], b: &[VertexId], out: Option<&mut Vec<VertexId>>) -> u64 {
+///
+/// Counting only — the innermost loop of every merge-based counter, kept
+/// free of the element sink so there is no per-element branch. Use
+/// [`merge_collect`] when the common elements themselves are needed.
+#[inline]
+pub fn merge_count(a: &[VertexId], b: &[VertexId]) -> u64 {
     let mut i = 0;
     let mut j = 0;
     let mut count = 0u64;
-    let mut sink = out;
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                if let Some(v) = sink.as_deref_mut() {
-                    v.push(a[i]);
-                }
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Two-pointer merge that appends each common element to `out` and
+/// returns how many it found. `out` is *not* cleared first, so callers
+/// can accumulate across edges (the `tc-apps` support counters do).
+pub fn merge_collect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) -> u64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0u64;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
                 count += 1;
                 i += 1;
                 j += 1;
@@ -136,23 +159,27 @@ mod tests {
 
     #[test]
     fn merge_count_basic() {
-        assert_eq!(merge_count(&[1, 3, 5, 7], &[2, 3, 5, 8], None), 2);
-        assert_eq!(merge_count(&[], &[1, 2], None), 0);
-        assert_eq!(merge_count(&[4], &[4], None), 1);
+        assert_eq!(merge_count(&[1, 3, 5, 7], &[2, 3, 5, 8]), 2);
+        assert_eq!(merge_count(&[], &[1, 2]), 0);
+        assert_eq!(merge_count(&[4], &[4]), 1);
     }
 
     #[test]
     fn merge_collects_elements() {
         let mut out = Vec::new();
-        merge_count(&[1, 2, 3, 9], &[2, 3, 4, 9], Some(&mut out));
+        let found = merge_collect(&[1, 2, 3, 9], &[2, 3, 4, 9], &mut out);
         assert_eq!(out, vec![2, 3, 9]);
+        assert_eq!(found, 3);
+        // Accumulates rather than clears.
+        merge_collect(&[5], &[5], &mut out);
+        assert_eq!(out, vec![2, 3, 9, 5]);
     }
 
     #[test]
     fn binary_search_count_matches_merge() {
         let a: Vec<u32> = (0..100).step_by(3).collect();
         let b: Vec<u32> = (0..100).step_by(5).collect();
-        assert_eq!(binary_search_count(&a, &b), merge_count(&a, &b, None));
+        assert_eq!(binary_search_count(&a, &b), merge_count(&a, &b));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod approx;
 pub mod bisson;
 pub mod cpu;
+pub mod engine;
 pub mod fox;
 pub mod gunrock;
 pub mod hu;

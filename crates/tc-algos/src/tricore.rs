@@ -183,7 +183,7 @@ impl<'a> TriCoreKernel<'a> {
     fn edge_merge_path(&self, u: VertexId, v: VertexId, ops: &mut Vec<WarpOp>) -> u64 {
         let a = self.g.out_neighbors(u);
         let b = self.g.out_neighbors(v);
-        let found = crate::intersect::merge_count(a, b, None);
+        let found = crate::intersect::merge_count(a, b);
         let total = (a.len() + b.len()) as u64;
         // Partition phase: each lane runs one diagonal search (~log total
         // probes over both lists, scattered).

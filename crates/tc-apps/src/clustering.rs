@@ -1,12 +1,22 @@
 //! Clustering coefficients (Watts & Strogatz; the paper's reference \[34\]).
 
-use crate::support::triangles_per_vertex;
+use crate::support::{triangles_per_vertex, triangles_per_vertex_with};
+use tc_algos::engine::Scratch;
 use tc_graph::CsrGraph;
 
 /// Local clustering coefficient of every vertex:
 /// `C(v) = 2·T(v) / (d(v)·(d(v)−1))`, 0 for degree < 2.
 pub fn clustering_coefficients(g: &CsrGraph) -> Vec<f64> {
-    triangles_per_vertex(g)
+    per_vertex_to_coefficients(g, triangles_per_vertex(g))
+}
+
+/// [`clustering_coefficients`] against a caller-owned scratch.
+pub fn clustering_coefficients_with(g: &CsrGraph, scratch: &mut Scratch) -> Vec<f64> {
+    per_vertex_to_coefficients(g, triangles_per_vertex_with(g, scratch))
+}
+
+fn per_vertex_to_coefficients(g: &CsrGraph, triangles: Vec<u64>) -> Vec<f64> {
+    triangles
         .into_iter()
         .zip(g.vertices())
         .map(|(t, v)| {
@@ -23,7 +33,16 @@ pub fn clustering_coefficients(g: &CsrGraph) -> Vec<f64> {
 /// The global clustering coefficient (transitivity):
 /// `3 × triangles / open-or-closed wedges`.
 pub fn global_clustering_coefficient(g: &CsrGraph) -> f64 {
-    let triangles: u64 = triangles_per_vertex(g).iter().sum::<u64>() / 3;
+    global_from_per_vertex(g, &triangles_per_vertex(g))
+}
+
+/// [`global_clustering_coefficient`] against a caller-owned scratch.
+pub fn global_clustering_coefficient_with(g: &CsrGraph, scratch: &mut Scratch) -> f64 {
+    global_from_per_vertex(g, &triangles_per_vertex_with(g, scratch))
+}
+
+fn global_from_per_vertex(g: &CsrGraph, per_vertex: &[u64]) -> f64 {
+    let triangles: u64 = per_vertex.iter().sum::<u64>() / 3;
     let wedges: u64 = g
         .vertices()
         .map(|v| {

@@ -8,10 +8,20 @@
 //! every triangle it closed.
 
 use std::collections::HashMap;
+use tc_algos::engine::{with_thread_scratch, Scratch};
 use tc_graph::{CsrGraph, VertexId};
 
 /// The trussness of every edge, keyed by `(u, v)` with `u < v`.
 pub fn ktruss_decomposition(g: &CsrGraph) -> HashMap<(VertexId, VertexId), u32> {
+    with_thread_scratch(|scratch| ktruss_decomposition_with(g, scratch))
+}
+
+/// [`ktruss_decomposition`] with the initial support pass intersecting
+/// through a caller-owned scratch.
+pub fn ktruss_decomposition_with(
+    g: &CsrGraph,
+    scratch: &mut Scratch,
+) -> HashMap<(VertexId, VertexId), u32> {
     let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
     let m = edges.len();
     let index_of: HashMap<(VertexId, VertexId), usize> =
@@ -19,7 +29,7 @@ pub fn ktruss_decomposition(g: &CsrGraph) -> HashMap<(VertexId, VertexId), u32> 
     let edge_key = |a: VertexId, b: VertexId| if a < b { (a, b) } else { (b, a) };
 
     // Initial supports.
-    let mut support: Vec<u32> = crate::support::edge_supports(g)
+    let mut support: Vec<u32> = crate::support::edge_supports_with(g, scratch)
         .into_iter()
         .map(|e| e.support)
         .collect();

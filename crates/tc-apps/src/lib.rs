@@ -16,7 +16,12 @@ pub mod ktruss;
 pub mod recommend;
 pub mod support;
 
-pub use clustering::{clustering_coefficients, global_clustering_coefficient};
-pub use ktruss::{ktruss_decomposition, max_truss};
-pub use recommend::{recommend_for, RecommendScore};
-pub use support::{edge_supports, triangles_per_vertex, EdgeSupport};
+pub use clustering::{
+    clustering_coefficients, clustering_coefficients_with, global_clustering_coefficient,
+    global_clustering_coefficient_with,
+};
+pub use ktruss::{ktruss_decomposition, ktruss_decomposition_with, max_truss};
+pub use recommend::{recommend_for, recommend_for_with, RecommendScore};
+pub use support::{
+    edge_supports, edge_supports_with, triangles_per_vertex, triangles_per_vertex_with, EdgeSupport,
+};

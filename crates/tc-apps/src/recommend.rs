@@ -6,7 +6,7 @@
 //! similarity, and Adamic–Adar weighting (common neighbours discounted by
 //! their degree).
 
-use tc_algos::intersect::merge_count;
+use tc_algos::engine::{with_thread_scratch, Scratch};
 use tc_graph::{CsrGraph, VertexId};
 
 /// A scored candidate link.
@@ -28,6 +28,17 @@ pub struct RecommendScore {
 /// Only vertices at distance exactly two are candidates — a link
 /// recommendation that closes no triangle carries no signal.
 pub fn recommend_for(g: &CsrGraph, source: VertexId, k: usize) -> Vec<RecommendScore> {
+    with_thread_scratch(|scratch| recommend_for_with(g, source, k, scratch))
+}
+
+/// [`recommend_for`] with the common-neighbour lists staged in a
+/// caller-owned scratch.
+pub fn recommend_for_with(
+    g: &CsrGraph,
+    source: VertexId,
+    k: usize,
+    scratch: &mut Scratch,
+) -> Vec<RecommendScore> {
     let nbrs = g.neighbors(source);
     let mut candidate_set: Vec<VertexId> = nbrs
         .iter()
@@ -37,12 +48,11 @@ pub fn recommend_for(g: &CsrGraph, source: VertexId, k: usize) -> Vec<RecommendS
     candidate_set.sort_unstable();
     candidate_set.dedup();
 
-    let mut shared = Vec::new();
     let mut scored: Vec<RecommendScore> = candidate_set
         .into_iter()
         .map(|c| {
-            shared.clear();
-            let common = merge_count(nbrs, g.neighbors(c), Some(&mut shared)) as u32;
+            let shared = scratch.collect_common(nbrs, g.neighbors(c));
+            let common = shared.len() as u32;
             let union = nbrs.len() + g.degree(c) - common as usize;
             let adamic_adar = shared
                 .iter()

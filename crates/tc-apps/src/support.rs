@@ -1,7 +1,12 @@
 //! Per-edge triangle support and per-vertex triangle counts — the shared
 //! primitive of every application in this crate.
+//!
+//! Both primitives run on the adaptive intersection engine: the `*_with`
+//! variants take a caller-owned [`Scratch`] so warm callers (the service
+//! executor's worker pool) intersect with zero heap allocation; the plain
+//! variants borrow the thread-local scratch.
 
-use tc_algos::intersect::merge_count;
+use tc_algos::engine::{self, with_thread_scratch, Kernel, Scratch};
 use tc_graph::{CsrGraph, VertexId};
 
 /// One undirected edge with its triangle support.
@@ -18,15 +23,26 @@ pub struct EdgeSupport {
 
 /// Computes the support of every edge (each listed once, `u < v`).
 ///
-/// `O(Σ min(d(u), d(v)))` over edges via sorted-list intersections; the
-/// per-edge outputs sum to three times the triangle count (each triangle
-/// has three edges), which the tests pin against the exact counters.
+/// `O(Σ min(d(u), d(v)))` over edges via adaptive sorted intersections;
+/// the per-edge outputs sum to three times the triangle count (each
+/// triangle has three edges), which the tests pin against the exact
+/// counters.
 pub fn edge_supports(g: &CsrGraph) -> Vec<EdgeSupport> {
+    with_thread_scratch(|scratch| edge_supports_with(g, scratch))
+}
+
+/// [`edge_supports`] against a caller-owned scratch.
+pub fn edge_supports_with(g: &CsrGraph, scratch: &mut Scratch) -> Vec<EdgeSupport> {
     g.edges()
         .map(|(u, v)| EdgeSupport {
             u,
             v,
-            support: merge_count(g.neighbors(u), g.neighbors(v), None) as u32,
+            support: engine::intersect_count(
+                Kernel::Adaptive,
+                g.neighbors(u),
+                g.neighbors(v),
+                scratch,
+            ) as u32,
         })
         .collect()
 }
@@ -36,17 +52,22 @@ pub fn edge_supports(g: &CsrGraph) -> Vec<EdgeSupport> {
 /// `result[v]` counts unordered triangles containing `v`; the vector sums
 /// to three times the global triangle count.
 pub fn triangles_per_vertex(g: &CsrGraph) -> Vec<u64> {
+    with_thread_scratch(|scratch| triangles_per_vertex_with(g, scratch))
+}
+
+/// [`triangles_per_vertex`] against a caller-owned scratch (the common
+/// neighbours are staged in the scratch's reusable buffer).
+pub fn triangles_per_vertex_with(g: &CsrGraph, scratch: &mut Scratch) -> Vec<u64> {
     let mut counts = vec![0u64; g.num_vertices()];
     // Count each triangle once at its (u < v < w) representative, then
     // credit all three corners.
-    let mut shared = Vec::new();
     for (u, v) in g.edges() {
-        shared.clear();
-        merge_count(g.neighbors(u), g.neighbors(v), Some(&mut shared));
-        for &w in shared.iter().filter(|&&w| w > v) {
-            counts[u as usize] += 1;
-            counts[v as usize] += 1;
-            counts[w as usize] += 1;
+        for &w in scratch.collect_common(g.neighbors(u), g.neighbors(v)) {
+            if w > v {
+                counts[u as usize] += 1;
+                counts[v as usize] += 1;
+                counts[w as usize] += 1;
+            }
         }
     }
     counts
@@ -90,6 +111,24 @@ mod tests {
     fn per_vertex_counts_on_k4() {
         // Every vertex of K4 sits in 3 triangles.
         assert_eq!(triangles_per_vertex(&k4()), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn shared_scratch_across_both_primitives_is_consistent() {
+        let g = power_law_configuration(300, 2.2, 7.0, 5);
+        let mut scratch = Scratch::new();
+        let sup: u64 = edge_supports_with(&g, &mut scratch)
+            .iter()
+            .map(|e| e.support as u64)
+            .sum();
+        let per_vertex: u64 = triangles_per_vertex_with(&g, &mut scratch).iter().sum();
+        assert_eq!(sup, per_vertex);
+        // Reusing the now-warm scratch must not change anything.
+        let sup2: u64 = edge_supports_with(&g, &mut scratch)
+            .iter()
+            .map(|e| e.support as u64)
+            .sum();
+        assert_eq!(sup, sup2);
     }
 
     #[test]

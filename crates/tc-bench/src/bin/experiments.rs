@@ -6,7 +6,7 @@
 //!
 //! `<id>` ∈ {table2, table3, table5, table6, fig7, fig8, fig9, fig10,
 //! fig11, fig12, fig13, fig14, fig15, fig16, ablation, algorithms,
-//! bench-pipeline, serve-bench, stream-bench, all}. `--small`
+//! bench-pipeline, serve-bench, stream-bench, cpu-bench, all}. `--small`
 //! substitutes the small dataset suite for a quick smoke run.
 //!
 //! Experiment grids and trace generation run on all cores by default;
@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 use tc_bench::experiments::*;
-use tc_bench::{pipeline_bench, serve_bench, stream_bench, ExperimentEnv};
+use tc_bench::{cpu_bench, pipeline_bench, serve_bench, stream_bench, ExperimentEnv};
 use tc_datasets::Dataset;
 
 struct Cli {
@@ -140,6 +140,18 @@ impl Cli {
                     }
                 }
             }
+            "cpu-bench" => {
+                let reports = cpu_bench::run(self.small);
+                println!("{}", cpu_bench::render(&reports));
+                let json = cpu_bench::to_json(&reports);
+                match std::fs::write("BENCH_cpu.json", &json) {
+                    Ok(()) => eprintln!("wrote BENCH_cpu.json"),
+                    Err(e) => {
+                        eprintln!("could not write BENCH_cpu.json: {e}");
+                        return false;
+                    }
+                }
+            }
             "stream-bench" => {
                 let reports = stream_bench::run(self.small);
                 println!("{}", stream_bench::render(&reports));
@@ -201,7 +213,7 @@ fn main() {
         .collect();
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments <{}|bench-pipeline|serve-bench|stream-bench|all> [--small]",
+            "usage: experiments <{}|bench-pipeline|serve-bench|stream-bench|cpu-bench|all> [--small]",
             ALL.join("|")
         );
         std::process::exit(2);

@@ -8,6 +8,7 @@
 //! `all`. Results print as aligned text tables; `EXPERIMENTS.md` records a
 //! reference run against the paper's numbers.
 
+pub mod cpu_bench;
 pub mod experiments;
 pub mod fmt;
 pub mod grid;

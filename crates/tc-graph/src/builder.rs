@@ -63,42 +63,102 @@ impl GraphBuilder {
     }
 
     /// Finalizes into a canonical [`CsrGraph`].
-    pub fn build(mut self) -> CsrGraph {
-        self.edges.sort_unstable();
-        self.edges.dedup();
-
+    ///
+    /// Construction is two stable counting-sort passes over the `2m`
+    /// directed copies of the edges — first keyed by destination, then by
+    /// source — which leaves the pairs in lexicographic `(src, dst)`
+    /// order with duplicates adjacent. A final linear walk drops the
+    /// duplicates while writing offsets. `O(n + m)` total, replacing the
+    /// seed's `O(m log m)` comparison sort; the stream subsystem leans on
+    /// this every compaction.
+    pub fn build(self) -> CsrGraph {
         let n = self.num_vertices;
-        let mut degrees = vec![0usize; n];
+        let m2 = self.edges.len() * 2;
+
+        // Pass 1: stable counting sort of all directed pairs by dst.
+        let mut start = vec![0usize; n + 1];
         for &(u, v) in &self.edges {
-            degrees[u as usize] += 1;
-            degrees[v as usize] += 1;
+            start[u as usize + 1] += 1;
+            start[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            start[i + 1] += start[i];
+        }
+        let mut cursor = start;
+        let mut by_dst: Vec<(VertexId, VertexId)> = vec![(0, 0); m2];
+        for &(u, v) in &self.edges {
+            by_dst[cursor[v as usize]] = (u, v);
+            cursor[v as usize] += 1;
+            by_dst[cursor[u as usize]] = (v, u);
+            cursor[u as usize] += 1;
         }
 
+        // Pass 2: stable counting sort by src. Stability preserves the
+        // dst order within each source, so each adjacency list comes out
+        // ascending with duplicate entries adjacent.
+        let mut row = vec![0usize; n + 1];
+        for &(src, _) in &by_dst {
+            row[src as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row[i + 1] += row[i];
+        }
+        let mut cursor = row.clone();
+        let mut neighbors = vec![0 as VertexId; m2];
+        for &(src, dst) in &by_dst {
+            neighbors[cursor[src as usize]] = dst;
+            cursor[src as usize] += 1;
+        }
+
+        // Final walk: compact duplicates in place, recording offsets.
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
-        let mut acc = 0usize;
-        for &d in &degrees {
-            acc += d;
-            offsets.push(acc);
-        }
-
-        let mut cursor = offsets.clone();
-        let mut neighbors = vec![0 as VertexId; acc];
-        for &(u, v) in &self.edges {
-            neighbors[cursor[u as usize]] = v;
-            cursor[u as usize] += 1;
-            neighbors[cursor[v as usize]] = u;
-            cursor[v as usize] += 1;
-        }
-        // Edges were processed in sorted order, so each vertex's list of
-        // *larger* neighbours is ascending, but smaller neighbours arrive
-        // interleaved; one sort per list restores the invariant.
+        let mut write = 0usize;
         for u in 0..n {
-            neighbors[offsets[u]..offsets[u + 1]].sort_unstable();
+            let mut prev = None;
+            for read in row[u]..row[u + 1] {
+                let v = neighbors[read];
+                if prev != Some(v) {
+                    neighbors[write] = v;
+                    write += 1;
+                    prev = Some(v);
+                }
+            }
+            offsets.push(write);
         }
+        neighbors.truncate(write);
 
         CsrGraph::from_parts(offsets, neighbors)
     }
+}
+
+/// Assembles a [`CsrGraph`] directly from per-vertex sorted neighbour
+/// lists, visiting each list twice: once for its length (offsets), once
+/// for its elements. The counting-sort analogue for sources that can
+/// replay a row cheaply — `tc-stream` compaction streams its layered
+/// (base ∪ adds) \ dels rows through this instead of re-sorting.
+///
+/// Each list must be strictly ascending and symmetric (`v ∈ list(u)` ⇔
+/// `u ∈ list(v)`); [`CsrGraph::from_parts`] enforces the per-row
+/// invariants in debug builds.
+pub fn csr_from_sorted_lists<I, F>(num_vertices: usize, mut lists: F) -> CsrGraph
+where
+    F: FnMut(VertexId) -> I,
+    I: Iterator<Item = VertexId> + ExactSizeIterator,
+{
+    let mut offsets = Vec::with_capacity(num_vertices + 1);
+    offsets.push(0usize);
+    let mut total = 0usize;
+    for u in 0..num_vertices {
+        total += lists(u as VertexId).len();
+        offsets.push(total);
+    }
+    let mut neighbors = Vec::with_capacity(total);
+    for u in 0..num_vertices {
+        neighbors.extend(lists(u as VertexId));
+    }
+    debug_assert_eq!(neighbors.len(), total, "list lengths must be exact");
+    CsrGraph::from_parts(offsets, neighbors)
 }
 
 #[cfg(test)]
@@ -132,5 +192,60 @@ mod tests {
         let g = GraphBuilder::new(7).build();
         assert_eq!(g.num_vertices(), 7);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn counting_sort_build_matches_comparison_build() {
+        // Reference implementation: the seed's comparison-sort pipeline.
+        fn reference(n: usize, edges: &[(VertexId, VertexId)]) -> CsrGraph {
+            let mut canon: Vec<(VertexId, VertexId)> = edges
+                .iter()
+                .filter(|&&(u, v)| u != v)
+                .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+                .collect();
+            canon.sort_unstable();
+            canon.dedup();
+            let mut lists: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+            for &(u, v) in &canon {
+                lists[u as usize].push(v);
+                lists[v as usize].push(u);
+            }
+            let mut offsets = vec![0usize];
+            let mut neighbors = Vec::new();
+            for mut l in lists {
+                l.sort_unstable();
+                neighbors.extend_from_slice(&l);
+                offsets.push(neighbors.len());
+            }
+            CsrGraph::from_parts(offsets, neighbors)
+        }
+
+        // Pseudo-random edge soup with duplicates and self-loops.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut edges = Vec::new();
+        for _ in 0..4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = ((state >> 33) % 97) as VertexId;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = ((state >> 33) % 97) as VertexId;
+            edges.push((u, v));
+        }
+        let got = GraphBuilder::from_edges(97, &edges).build();
+        let want = reference(97, &edges);
+        assert_eq!(got.num_edges(), want.num_edges());
+        for u in got.vertices() {
+            assert_eq!(got.neighbors(u), want.neighbors(u), "vertex {u}");
+        }
+        assert!(got.validate().is_ok());
+    }
+
+    #[test]
+    fn csr_from_sorted_lists_round_trips() {
+        let g = GraphBuilder::from_edges(5, &[(4, 2), (2, 0), (2, 3), (1, 2), (0, 1)]).build();
+        let rebuilt = csr_from_sorted_lists(g.num_vertices(), |u| g.neighbors(u).iter().copied());
+        assert_eq!(rebuilt.num_edges(), g.num_edges());
+        for u in g.vertices() {
+            assert_eq!(rebuilt.neighbors(u), g.neighbors(u));
+        }
     }
 }

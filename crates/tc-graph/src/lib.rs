@@ -36,7 +36,7 @@ pub mod orientation;
 pub mod permutation;
 pub mod stats;
 
-pub use builder::GraphBuilder;
+pub use builder::{csr_from_sorted_lists, GraphBuilder};
 pub use csr::CsrGraph;
 pub use directed::DirectedGraph;
 pub use layered::LayeredNeighbors;

@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+use tc_algos::engine::ScratchPool;
 use tc_algos::{
     bisson::Bisson, fox::Fox, gunrock::Gunrock, hu::HuFineGrained, polak::Polak, tricore::TriCore,
     GpuTriangleCounter, RunResult,
@@ -46,6 +47,11 @@ pub struct Executor {
     pub info: ServerInfo,
     /// Server start time (for the `stats` uptime field).
     pub started: Instant,
+    /// Shared pool of warm intersection scratches: each triangle-heavy
+    /// query (ktruss, clustering, recommend) checks one out for its
+    /// duration, so repeated warm queries do zero intersection-path heap
+    /// allocation regardless of which worker thread picks them up.
+    pub scratch: Arc<ScratchPool>,
 }
 
 /// The kernel names `simulate` accepts.
@@ -149,7 +155,8 @@ impl Executor {
             }
             Request::Ktruss(dataset) => {
                 let g = self.registry.graph(*dataset);
-                let trussness = tc_apps::ktruss_decomposition(&g);
+                let mut scratch = self.scratch.checkout();
+                let trussness = tc_apps::ktruss_decomposition_with(&g, &mut scratch);
                 // Deterministic summary: edges per truss level, ascending.
                 let mut levels: BTreeMap<u32, u64> = BTreeMap::new();
                 for &k in trussness.values() {
@@ -168,19 +175,18 @@ impl Executor {
             }
             Request::Clustering(dataset) => {
                 let g = self.registry.graph(*dataset);
-                let local = tc_apps::clustering_coefficients(&g);
+                let mut scratch = self.scratch.checkout();
+                let local = tc_apps::clustering_coefficients_with(&g, &mut scratch);
                 let mean_local = if local.is_empty() {
                     0.0
                 } else {
                     local.iter().sum::<f64>() / local.len() as f64
                 };
+                let global = tc_apps::global_clustering_coefficient_with(&g, &mut scratch);
                 Ok(vec![
                     ("dataset".into(), s(dataset.name())),
                     ("nodes".into(), u(g.num_vertices() as u64)),
-                    (
-                        "global_coefficient".into(),
-                        Json::Float(tc_apps::global_clustering_coefficient(&g)),
-                    ),
+                    ("global_coefficient".into(), Json::Float(global)),
                     ("mean_local_coefficient".into(), Json::Float(mean_local)),
                 ])
             }
@@ -195,7 +201,8 @@ impl Executor {
                         ),
                     ));
                 }
-                let scores = tc_apps::recommend_for(&g, *source, *k);
+                let mut scratch = self.scratch.checkout();
+                let scores = tc_apps::recommend_for_with(&g, *source, *k, &mut scratch);
                 let rows: Vec<Json> = scores
                     .iter()
                     .map(|r| {
@@ -341,6 +348,13 @@ impl Executor {
                 ]),
             ),
             (
+                "scratch_pool".into(),
+                obj(vec![
+                    ("idle", u(self.scratch.idle() as u64)),
+                    ("idle_bytes", u(self.scratch.idle_bytes() as u64)),
+                ]),
+            ),
+            (
                 "cache_entries".into(),
                 Json::Arr(
                     self.registry
@@ -385,6 +399,7 @@ mod tests {
                 default_deadline_ms: 1000,
             },
             started: Instant::now(),
+            scratch: Arc::new(ScratchPool::new()),
         }
     }
 

@@ -242,6 +242,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
             default_deadline_ms: config.default_deadline.as_millis() as u64,
         },
         started: Instant::now(),
+        scratch: Arc::new(tc_algos::engine::ScratchPool::new()),
     });
     let shutdown = Arc::new(AtomicBool::new(false));
 

@@ -5,9 +5,10 @@
 use crate::delta::{DeltaAdjacency, Layer};
 use std::collections::HashMap;
 use std::sync::Arc;
+use tc_algos::engine::{self, Kernel, Scratch};
 use tc_core::{PreprocessResult, Preprocessor};
 use tc_graph::layered::{merge_intersection_count, LayeredNeighbors};
-use tc_graph::{CsrGraph, VertexId};
+use tc_graph::{csr_from_sorted_lists, CsrGraph, VertexId};
 
 /// One streamed edge operation, in the original (pre-relabelling) id
 /// space. Endpoint order does not matter; self-loops and out-of-range
@@ -141,6 +142,9 @@ pub struct DynamicGraph {
     preprocessor: Option<Preprocessor>,
     prep: Option<Arc<PreprocessResult>>,
     counters: StreamCounters,
+    /// Reusable intersection working memory for the per-edge counting
+    /// path (pure cache; cloning a `DynamicGraph` starts it cold).
+    scratch: Scratch,
 }
 
 impl DynamicGraph {
@@ -166,6 +170,7 @@ impl DynamicGraph {
             preprocessor: None,
             prep: None,
             counters: StreamCounters::default(),
+            scratch: Scratch::new(),
         }
     }
 
@@ -262,6 +267,30 @@ impl DynamicGraph {
         merge_intersection_count(self.neighbors(u), self.neighbors(v))
     }
 
+    /// [`common_neighbors`](DynamicGraph::common_neighbors) through the
+    /// adaptive engine and this graph's own scratch — the batch-apply
+    /// hot path. Rows untouched by the overlay (the common case: the
+    /// overlay holds only recently-changed edges) intersect directly on
+    /// the base CSR slices with no staging copy; layered rows are staged
+    /// into the scratch's reusable buffers first.
+    fn common_neighbors_fast(&mut self, u: VertexId, v: VertexId) -> u64 {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let plain_u = self.delta.adds_of(u).is_empty() && self.delta.dels_of(u).is_empty();
+        let plain_v = self.delta.adds_of(v).is_empty() && self.delta.dels_of(v).is_empty();
+        let count = if plain_u && plain_v {
+            engine::intersect_count(
+                Kernel::Adaptive,
+                self.base.neighbors(u),
+                self.base.neighbors(v),
+                &mut scratch,
+            )
+        } else {
+            scratch.intersect_iters(Kernel::Adaptive, self.neighbors(u), self.neighbors(v))
+        };
+        self.scratch = scratch;
+        count
+    }
+
     /// Applies one batch of edge operations atomically and
     /// deterministically; returns the batch outcome (including the new
     /// exact triangle count).
@@ -312,7 +341,7 @@ impl DynamicGraph {
                     noops += 1;
                     continue;
                 }
-                let closed = self.common_neighbors(u, v) as i64;
+                let closed = self.common_neighbors_fast(u, v) as i64;
                 tri_delta += closed;
                 self.delta
                     .record_insert(u, v, matches!(layer, Some(Layer::Del)));
@@ -323,7 +352,7 @@ impl DynamicGraph {
                     noops += 1;
                     continue;
                 }
-                let opened = self.common_neighbors(u, v) as i64;
+                let opened = self.common_neighbors_fast(u, v) as i64;
                 tri_delta -= opened;
                 self.delta.record_delete(u, v, layer.is_none());
                 self.num_edges -= 1;
@@ -376,18 +405,13 @@ impl DynamicGraph {
         }
     }
 
-    /// Builds the current effective graph as a standalone CSR (one pass
-    /// over the layered adjacency; the stream itself is unchanged).
+    /// Builds the current effective graph as a standalone CSR (the
+    /// stream itself is unchanged). The layered rows are already sorted
+    /// and sized in `O(1)` (`LayeredNeighbors::len`), so assembly goes
+    /// through the counting-sort-style two-pass builder — offsets from
+    /// the exact lengths, then a single fill — with no comparison sort.
     pub fn materialize(&self) -> CsrGraph {
-        let n = self.num_vertices();
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0usize);
-        let mut neighbors = Vec::with_capacity(2 * self.num_edges);
-        for u in 0..n as VertexId {
-            neighbors.extend(self.neighbors(u));
-            offsets.push(neighbors.len());
-        }
-        CsrGraph::from_parts(offsets, neighbors)
+        csr_from_sorted_lists(self.num_vertices(), |u| self.neighbors(u))
     }
 }
 

@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy -p tc-algos -- -D warnings (intersection engine, standalone gate)"
+cargo clippy -p tc-algos --all-targets -- -D warnings
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
@@ -19,5 +22,8 @@ cargo run --release -q --example service_demo
 
 echo "==> stream smoke test (incremental vs recompute, small suite)"
 cargo run --release -q -p tc-bench --bin experiments -- stream-bench --small
+
+echo "==> cpu kernel smoke test (every kernel x ordering, small suite)"
+cargo run --release -q -p tc-bench --bin experiments -- cpu-bench --small
 
 echo "==> ci.sh: all green"
