@@ -130,6 +130,7 @@ pub fn parallel_count(g: &DirectedGraph, num_threads: usize) -> u64 {
             let end = ((t + 1) * chunk).min(n);
             scope.spawn(move || {
                 let mut scratch = Scratch::new();
+                scratch.reserve_vertices(n);
                 let mut local = 0u64;
                 for u in start as u32..end as u32 {
                     local += engine::vertex_triangles(g, u, Kernel::Adaptive, &mut scratch);

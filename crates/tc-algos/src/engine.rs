@@ -15,20 +15,51 @@
 //! - [`Kernel::Galloping`] — exponential (galloping) search of each
 //!   element of the shorter list in the longer, with a monotone cursor;
 //!   `O(s · log(l/s))` total. Wins when `l ≫ s`.
-//! - [`Kernel::Bitmap`] — stamp-based membership array: mark one list
-//!   once, probe the other at `O(1)` per element. The stamp epoch makes
-//!   clearing free, so the array is reused across *every* intersection
-//!   a [`Scratch`] lives through. Wins when one list is pinned across
-//!   many probes (the per-vertex counting loops).
-//! - [`Kernel::Adaptive`] — the crossover selector: pin-and-probe at
-//!   the vertex level when the pinned list is long enough to amortise
-//!   marking, galloping when the ratio passes [`GALLOP_RATIO`], merge
-//!   otherwise.
+//! - [`Kernel::Bitmap`] — membership bitmap, probed one element at a
+//!   time: mark one list once, test the other at `O(1)` per element.
+//!   Kept as the scalar-probe reference the word kernel is measured
+//!   against.
+//! - [`Kernel::WordBitmap`] — the same bitmap probed one **word** at a
+//!   time: consecutive probe candidates sharing a 64-vertex word are
+//!   packed into one probe mask and answered with a single
+//!   `AND` + `count_ones`, so a dense probe list retires up to 64
+//!   membership tests per instruction (see [`Scratch::count_marked`]).
+//! - [`Kernel::SimdMerge`] — chunked merge that compares blocks of
+//!   elements per step ([`crate::simd`]): AVX2/SSE all-pairs compare
+//!   under the `simd` cargo feature (runtime-detected), a scalar block
+//!   merge otherwise.
+//! - [`Kernel::Adaptive`] — the crossover selector: pins every vertex
+//!   with at least [`PIN_DEGREE`] out-edges and probes through the
+//!   fastest membership kernel available (the AVX2 eight-wide gather of
+//!   [`crate::simd::probe_count`] under the `simd` feature, the scalar
+//!   loop otherwise), escaping to a gallop when a probe list outweighs
+//!   the pinned list by [`PROBE_GALLOP_RATIO`]; raw pairs go through
+//!   the [`GALLOP_RATIO`] gallop/merge crossover.
+//!
+//! ## The packed bitmap
+//!
+//! Membership lives in a packed `u64` bitmap: bit `v % 64` of word
+//! `v / 64`. The bitmap is **authoritative at probe time**: `mark`
+//! records which words the current set touches (`touched`) and erases
+//! the previous set's words before installing the new one — the classic
+//! sparse-set reset — so a probe is one pure word load with no validity
+//! check of any kind. (A first cut validated words with per-word
+//! generation tags instead; the tag load+compare on *every* probe
+//! doubled probe cost in `cpu-bench`, while the reset walk costs `O(d)`
+//! stores once per pinned vertex — orders of magnitude off the probe
+//! loop. See DESIGN.md §3.10.)
+//!
+//! Versus the old one-`u32`-per-vertex stamp array the packed words are
+//! 32× smaller (8 bytes per 64 vertices instead of 256), which keeps
+//! the whole bitmap of a few-hundred-thousand-vertex graph inside
+//! L1/L2 during the pinned counting loops — and it is what unlocks the
+//! word-AND probe ([`Scratch::count_marked`]).
 //!
 //! All kernels run against a caller-owned [`Scratch`], so the hot loop
-//! performs **zero heap allocation** once the scratch has warmed up:
-//! the stamp array grows to the vertex-id range once, and the staging
-//! buffers grow to the longest materialised list once.
+//! performs **zero heap allocation** once the scratch has warmed up: the
+//! counting entry points size the bitmap to the graph once up front
+//! ([`Scratch::reserve_vertices`]) and assert it never reallocates
+//! mid-count.
 
 use crate::intersect::merge_count;
 use std::sync::Mutex;
@@ -42,21 +73,41 @@ use tc_graph::{DirectedGraph, VertexId};
 /// data-dependent branches and cache misses while the merge is a
 /// predictable stream, so the empirical CPU crossover sits much higher
 /// than the operation counts suggest. 16 is conservative on every
-/// dataset in `BENCH_cpu.json`; the compute-vs-memory model of the
-/// paper predicts the same order of magnitude for its GPU kernels.
+/// dataset in `BENCH_cpu.json`; re-sweeping after the vectorised merge
+/// landed moved the crossover less than the run-to-run noise, so the
+/// scalar-era value stands. This ratio governs the per-pair crossover
+/// ([`intersect_count`] on raw lists); the pinned vertex loop uses the
+/// much higher [`PROBE_GALLOP_RATIO`].
 pub const GALLOP_RATIO: usize = 16;
 
-/// Out-degree past which [`Kernel::Adaptive`] pins a vertex's
-/// neighbour list into the stamp array instead of merging per pair.
+/// Wedge-level escape hatch of the pinned probe loop: when a probe list
+/// is this many times longer than the pinned list, [`Kernel::Adaptive`]
+/// gallops the pinned list through it instead of probing it end to end.
 ///
-/// Pinning costs `d(u)` stamp writes and then answers each wedge in
-/// `d(v)` O(1) probes instead of a `d(u) + d(v)` merge, so it amortises
-/// almost immediately (sweeping this threshold in `BENCH_cpu.json`
-/// showed 4 and 2 within noise of each other, both far ahead of 8).
-/// The threshold only keeps degree-2/3 sources on the per-pair
-/// crossover path, where galloping still protects the worst case of a
-/// tiny source list probing a hub's long successor list.
-pub const PIN_DEGREE: usize = 4;
+/// Probing is linear in the probe list, so a hub successor list dwarfing
+/// the pinned list would otherwise dominate the vertex; galloping costs
+/// `|N⁺(u)| · log |N⁺(v)|` regardless. The crossover sits far above
+/// [`GALLOP_RATIO`] because the vectorised gather probe
+/// ([`crate::simd::probe_count`]) retires probes several times faster
+/// than the branchy per-element gallop steps — the PR 6 sweep over
+/// {8, 16, 32, 64, 128} put 8–16 clearly behind and 32–128 within
+/// run-to-run noise of each other on every dataset/ordering cell.
+pub const PROBE_GALLOP_RATIO: usize = 64;
+
+/// Out-degree past which [`Kernel::Adaptive`] pins a vertex's
+/// neighbour list into the bitmap instead of merging per pair.
+///
+/// Pinning costs `d(u)` bit writes and then answers each wedge with
+/// `O(1)` probes instead of a `d(u) + d(v)` merge, so it amortises
+/// almost immediately. The scalar-probe era ran with 4 (4 vs 2 within
+/// noise); re-sweeping after the gather probe landed moved 2 slightly
+/// but consistently ahead, so the engine now pins every vertex that can
+/// form a wedge at all — the per-pair crossover path only serves direct
+/// [`intersect_count`] callers (e.g. the per-edge deltas in
+/// `tc-stream`). The degree-skew worst case — a tiny pinned list
+/// probing a hub's successor list — is covered by the
+/// [`PROBE_GALLOP_RATIO`] escape inside the pinned loop itself.
+pub const PIN_DEGREE: usize = 2;
 
 /// An intersection strategy. `Adaptive` is the engine's decision mode;
 /// the fixed kernels exist so benchmarks and tests can pin a strategy.
@@ -66,18 +117,27 @@ pub enum Kernel {
     Merge,
     /// Galloping (exponential) search of the shorter list in the longer.
     Galloping,
-    /// Stamp-array mark-and-probe.
+    /// Bitmap mark-and-probe, one element per probe (the scalar
+    /// reference for [`Kernel::WordBitmap`]).
     Bitmap,
+    /// Bitmap mark-and-probe, one packed `u64` word per probe
+    /// (`AND` + `count_ones` over up to 64 candidates at a time).
+    WordBitmap,
+    /// Chunked/vectorised merge (`simd` feature: AVX2/SSE; otherwise a
+    /// scalar block merge).
+    SimdMerge,
     /// Size-ratio crossover between the above.
     Adaptive,
 }
 
 impl Kernel {
     /// Every kernel, in benchmark-sweep order.
-    pub const ALL: [Kernel; 4] = [
+    pub const ALL: [Kernel; 6] = [
         Kernel::Merge,
         Kernel::Galloping,
         Kernel::Bitmap,
+        Kernel::WordBitmap,
+        Kernel::SimdMerge,
         Kernel::Adaptive,
     ];
 
@@ -87,6 +147,8 @@ impl Kernel {
             Kernel::Merge => "merge",
             Kernel::Galloping => "galloping",
             Kernel::Bitmap => "bitmap",
+            Kernel::WordBitmap => "word-bitmap",
+            Kernel::SimdMerge => "simd-merge",
             Kernel::Adaptive => "adaptive",
         }
     }
@@ -97,9 +159,15 @@ impl Kernel {
     }
 }
 
-/// Reusable per-thread working memory: the stamp array behind
-/// [`Kernel::Bitmap`] plus two staging buffers for intersections whose
-/// operands only exist as iterators (layered adjacency in `tc-stream`).
+/// Log₂ of the bitmap word width.
+const WORD_SHIFT: u32 = 6;
+/// Bit-position mask within one bitmap word.
+const WORD_MASK: u32 = 63;
+
+/// Reusable per-thread working memory: the packed membership bitmap
+/// behind the bitmap kernels plus two staging buffers for intersections
+/// whose operands only exist as iterators (layered adjacency in
+/// `tc-stream`).
 ///
 /// Everything inside is a pure cache — dropping or swapping a `Scratch`
 /// never changes any count — and every buffer grows monotonically, so a
@@ -107,16 +175,27 @@ impl Kernel {
 /// `DynamicGraph`) makes the counting loops allocation-free.
 #[derive(Debug, Default)]
 pub struct Scratch {
-    /// `stamps[v] == epoch` ⇔ `v` is in the currently-marked set.
-    stamps: Vec<u32>,
-    epoch: u32,
+    /// Packed membership bitmap; bit `v & 63` of `words[v >> 6]` is set
+    /// iff `v` is in the marked set. Invariant: every word not listed in
+    /// `touched` is zero, so probes need no validity check.
+    words: Vec<u64>,
+    /// Indices of the nonzero words of the current marked set — the
+    /// sparse-set reset list [`mark`](Scratch::mark) erases on the next
+    /// call.
+    touched: Vec<u32>,
+    /// Largest vertex id in the current marked set (0 when the set is
+    /// empty — harmless, since word 0 is then all-zero anyway). Probe
+    /// lists are clipped to `..= max_marked`: 20–30 % of wedge probes on
+    /// the benchmark graphs target ids past the pinned list's maximum
+    /// and can never hit, so they are cut before the bitmap is touched.
+    max_marked: VertexId,
     buf_a: Vec<VertexId>,
     buf_b: Vec<VertexId>,
 }
 
 /// Cloning a scratch yields a fresh empty one: the contents are a pure
 /// cache, and the clone path (e.g. `DynamicGraph: Clone`) must not pay
-/// for — or share — megabytes of stamp array.
+/// for — or share — megabytes of bitmap.
 impl Clone for Scratch {
     fn clone(&self) -> Self {
         Scratch::default()
@@ -131,54 +210,141 @@ impl Scratch {
 
     /// Resident bytes (diagnostics; the service `stats` surface).
     pub fn approx_bytes(&self) -> usize {
-        self.stamps.capacity() * std::mem::size_of::<u32>()
+        self.words.capacity() * std::mem::size_of::<u64>()
+            + self.touched.capacity() * std::mem::size_of::<u32>()
             + (self.buf_a.capacity() + self.buf_b.capacity()) * std::mem::size_of::<VertexId>()
     }
 
-    /// Grows the stamp array to cover vertex ids `< n`. New slots are
-    /// stamped 0, which is never the live epoch.
-    fn ensure(&mut self, n: usize) {
-        if self.stamps.len() < n {
-            self.stamps.resize(n, 0);
+    /// Number of vertex ids the bitmap currently covers.
+    pub fn stamp_capacity(&self) -> usize {
+        self.words.len() << WORD_SHIFT
+    }
+
+    /// Pre-sizes the bitmap to cover vertex ids `< n`.
+    ///
+    /// The counting entry points call this once per graph before their
+    /// hot loops (and `debug_assert` that no reallocation happens inside
+    /// them); `mark` still grows on demand for direct callers.
+    pub fn reserve_vertices(&mut self, n: usize) {
+        self.ensure(n);
+        // A marked set touches at most one reset entry per word, so a
+        // capacity of `words.len()` bounds `touched` for every list the
+        // bitmap can hold.
+        let words = self.words.len();
+        if self.touched.capacity() < words {
+            self.touched.reserve(words - self.touched.len());
         }
     }
 
-    /// Starts a new marked set. Free except once every `u32::MAX`
-    /// generations, when the array is rewritten to forget stale stamps.
-    fn next_epoch(&mut self) -> u32 {
-        if self.epoch == u32::MAX {
-            self.stamps.fill(0);
-            self.epoch = 0;
+    /// Grows the bitmap to cover vertex ids `< n`; new words start zero
+    /// (the at-rest state every word outside `touched` must hold).
+    fn ensure(&mut self, n: usize) {
+        let need = n.div_ceil(1 << WORD_SHIFT);
+        if self.words.len() < need {
+            self.words.resize(need, 0);
         }
-        self.epoch += 1;
-        self.epoch
     }
 
     /// Marks `list` as the current set (previous marks are forgotten).
+    ///
+    /// Erases the previous set's words via the `touched` reset list,
+    /// then sets one bit per element — `O(|previous| + |list|)` however
+    /// large the bitmap has grown, and it restores the all-zero-at-rest
+    /// invariant that lets every probe skip validity checks.
     pub fn mark(&mut self, list: &[VertexId]) {
-        if let Some(&max) = list.last() {
-            self.ensure(max as usize + 1);
+        for w in self.touched.drain(..) {
+            self.words[w as usize] = 0;
         }
-        let epoch = self.next_epoch();
+        self.max_marked = list.last().copied().unwrap_or(0);
+        if !list.is_empty() {
+            self.ensure(self.max_marked as usize + 1);
+        }
         for &v in list {
-            self.stamps[v as usize] = epoch;
+            let w = (v >> WORD_SHIFT) as usize;
+            let bit = 1u64 << (v & WORD_MASK);
+            if self.words[w] == 0 {
+                self.touched.push(w as u32);
+            }
+            self.words[w] |= bit;
         }
+    }
+
+    /// Word `w` of the bitmap (zero when out of range).
+    #[inline]
+    fn word(&self, w: usize) -> u64 {
+        self.words.get(w).copied().unwrap_or(0)
     }
 
     /// Whether `v` is in the marked set.
     #[inline]
     pub fn is_marked(&self, v: VertexId) -> bool {
-        self.stamps
-            .get(v as usize)
-            .is_some_and(|&s| s == self.epoch)
+        self.word((v >> WORD_SHIFT) as usize) >> (v & WORD_MASK) & 1 == 1
     }
 
-    /// How many elements of `list` are in the marked set.
+    /// Drops the tail of a sorted probe list that lies past the largest
+    /// marked id — those probes cannot hit, and on the oriented
+    /// benchmark graphs they are 20–30 % of all wedge probes. One
+    /// binary search, only taken when the tail actually overshoots.
+    #[inline]
+    fn clip<'a>(&self, list: &'a [VertexId]) -> &'a [VertexId] {
+        // Only worth a binary search when there is enough list to cut:
+        // on short lists the search's mispredicted branches cost more
+        // than the handful of (cheap, branchless) probes they save.
+        if list.len() >= 32 && *list.last().unwrap() > self.max_marked {
+            &list[..list.partition_point(|&x| x <= self.max_marked)]
+        } else {
+            list
+        }
+    }
+
+    /// How many elements of `list` are in the marked set, one word-`AND`
+    /// per 64-vertex word the (sorted) list touches.
+    ///
+    /// Consecutive candidates sharing a word are packed into a probe
+    /// mask; the word is fetched once and answered with
+    /// `(live & mask).count_ones()`. On the renumbered orderings the
+    /// paper studies (A-order, D-order) neighbour ids cluster, so dense
+    /// hub lists retire tens of membership tests per probe. Ids beyond
+    /// the marked range read as absent.
     pub fn count_marked(&self, list: &[VertexId]) -> u64 {
-        // `list` may contain ids beyond the marked range (the marked
-        // list's maximum bounds the stamp array); `is_marked` treats
-        // those as absent.
-        list.iter().filter(|&&v| self.is_marked(v)).count() as u64
+        let list = self.clip(list);
+        let mut count = 0u64;
+        let mut cur = usize::MAX;
+        let mut mask = 0u64;
+        for &v in list {
+            let w = (v >> WORD_SHIFT) as usize;
+            if w != cur {
+                count += (self.word(cur) & mask).count_ones() as u64;
+                cur = w;
+                mask = 0;
+            }
+            mask |= 1u64 << (v & WORD_MASK);
+        }
+        count + (self.word(cur) & mask).count_ones() as u64
+    }
+
+    /// [`count_marked`](Scratch::count_marked) probing one element at a
+    /// time — the scalar reference path [`Kernel::Bitmap`] pins so the
+    /// word-batched win stays measurable in `cpu-bench`.
+    ///
+    /// The probe list is first [clipped](Scratch::clip) to the marked
+    /// range, and the membership bit is summed rather than branched on,
+    /// keeping the loop a straight stream of loads the core can
+    /// pipeline.
+    pub fn count_marked_scalar(&self, list: &[VertexId]) -> u64 {
+        self.clip(list)
+            .iter()
+            .map(|&v| self.word((v >> WORD_SHIFT) as usize) >> (v & WORD_MASK) & 1)
+            .sum()
+    }
+
+    /// [`count_marked_scalar`](Scratch::count_marked_scalar) through the
+    /// fastest probe kernel available — the AVX2 eight-wide gather tier
+    /// of [`crate::simd::probe_count`] when the `simd` feature is on
+    /// and the CPU has it, the identical scalar loop otherwise. This is
+    /// what [`Kernel::Adaptive`] probes with.
+    pub fn count_marked_fast(&self, list: &[VertexId]) -> u64 {
+        crate::simd::probe_count(&self.words, self.clip(list))
     }
 
     /// Merge-intersects two sorted slices into an internal reusable
@@ -269,13 +435,38 @@ pub fn gallop_count(a: &[VertexId], b: &[VertexId]) -> u64 {
     count
 }
 
-/// Intersection count via the stamp array: mark the shorter list, probe
-/// the longer. One-shot form of the pinned path; `O(s + l)` with `O(1)`
-/// probes and no comparisons.
+/// Intersection count via the bitmap with scalar probes: mark the
+/// shorter list, test the longer one element at a time. One-shot form of
+/// the [`Kernel::Bitmap`] pinned path; `O(s + l)` with `O(1)` probes and
+/// no comparisons.
 pub fn bitmap_count(a: &[VertexId], b: &[VertexId], scratch: &mut Scratch) -> u64 {
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     scratch.mark(short);
+    scratch.count_marked_scalar(long)
+}
+
+/// Bulk word-at-a-time intersection: both sorted lists meet in the
+/// packed bitmap domain — the shorter is pinned into live words, the
+/// longer is packed word-by-word into probe masks, and each touched word
+/// is resolved with one `AND` + `count_ones` over up to 64 candidates.
+/// One-shot form of the [`Kernel::WordBitmap`] pinned path.
+pub fn intersect_words(a: &[VertexId], b: &[VertexId], scratch: &mut Scratch) -> u64 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    scratch.mark(short);
     scratch.count_marked(long)
+}
+
+/// The merge used on the balanced side of the adaptive crossover: the
+/// vectorised kernel when the `simd` feature is enabled, the plain
+/// scalar merge otherwise (without vector units the block fallback's
+/// all-pairs compares cost more than the two-pointer walk).
+#[inline]
+fn adaptive_merge(a: &[VertexId], b: &[VertexId]) -> u64 {
+    if cfg!(feature = "simd") {
+        crate::simd::simd_merge_count(a, b)
+    } else {
+        merge_count(a, b)
+    }
 }
 
 /// The crossover selector for one pair of sorted lists (the pairwise
@@ -293,7 +484,7 @@ fn adaptive_pair(a: &[VertexId], b: &[VertexId]) -> u64 {
     } else if l / s >= GALLOP_RATIO {
         gallop_count(a, b)
     } else {
-        merge_count(a, b)
+        adaptive_merge(a, b)
     }
 }
 
@@ -308,6 +499,8 @@ pub fn intersect_count(
         Kernel::Merge => merge_count(a, b),
         Kernel::Galloping => gallop_count(a, b),
         Kernel::Bitmap => bitmap_count(a, b, scratch),
+        Kernel::WordBitmap => intersect_words(a, b, scratch),
+        Kernel::SimdMerge => crate::simd::simd_merge_count(a, b),
         Kernel::Adaptive => adaptive_pair(a, b),
     }
 }
@@ -315,10 +508,12 @@ pub fn intersect_count(
 /// Triangles through vertex `u` of an oriented graph:
 /// `Σ_{v ∈ N⁺(u)} |N⁺(u) ∩ N⁺(v)|`.
 ///
-/// For [`Kernel::Bitmap`] — and for [`Kernel::Adaptive`] above
-/// [`PIN_DEGREE`] — `N⁺(u)` is marked once and every wedge endpoint is
-/// probed at `O(1)`, turning the per-vertex cost from
-/// `Σ_v (d(u) + d(v))` into `d(u) + Σ_v d(v)`.
+/// For the bitmap kernels — and for [`Kernel::Adaptive`] above
+/// [`PIN_DEGREE`] — `N⁺(u)` is marked once and every wedge endpoint list
+/// is probed against it, turning the per-vertex cost from
+/// `Σ_v (d(u) + d(v))` into `d(u) + Σ_v d(v)` — with the probes retiring
+/// a packed word at a time everywhere except the deliberately scalar
+/// [`Kernel::Bitmap`].
 pub fn vertex_triangles(
     g: &DirectedGraph,
     u: VertexId,
@@ -332,22 +527,49 @@ pub fn vertex_triangles(
         return 0;
     }
     let pin = match kernel {
-        Kernel::Bitmap => true,
+        Kernel::Bitmap | Kernel::WordBitmap => true,
         Kernel::Adaptive => out_u.len() >= PIN_DEGREE,
-        Kernel::Merge | Kernel::Galloping => false,
+        Kernel::Merge | Kernel::Galloping | Kernel::SimdMerge => false,
     };
     let mut count = 0u64;
     if pin {
         scratch.mark(out_u);
-        for &v in out_u {
-            count += scratch.count_marked(g.out_neighbors(v));
+        match kernel {
+            Kernel::WordBitmap => {
+                for &v in out_u {
+                    count += scratch.count_marked(g.out_neighbors(v));
+                }
+            }
+            Kernel::Bitmap => {
+                for &v in out_u {
+                    count += scratch.count_marked_scalar(g.out_neighbors(v));
+                }
+            }
+            _ => {
+                // Adaptive: probing is linear in |N⁺(v)|, so a hub
+                // successor list dwarfing the pinned list is cheaper to
+                // answer by galloping the pinned list through it —
+                // |N⁺(u)|·log|N⁺(v)| — than by probing it end to end.
+                let gallop_at = out_u.len().saturating_mul(PROBE_GALLOP_RATIO);
+                for &v in out_u {
+                    let nv = g.out_neighbors(v);
+                    count += if nv.len() >= gallop_at {
+                        gallop_count(out_u, nv)
+                    } else {
+                        scratch.count_marked_fast(nv)
+                    };
+                }
+            }
         }
     } else {
         for &v in out_u {
             count += match kernel {
                 Kernel::Merge => merge_count(out_u, g.out_neighbors(v)),
                 Kernel::Galloping => gallop_count(out_u, g.out_neighbors(v)),
-                Kernel::Bitmap | Kernel::Adaptive => adaptive_pair(out_u, g.out_neighbors(v)),
+                Kernel::SimdMerge => crate::simd::simd_merge_count(out_u, g.out_neighbors(v)),
+                Kernel::Bitmap | Kernel::WordBitmap | Kernel::Adaptive => {
+                    adaptive_pair(out_u, g.out_neighbors(v))
+                }
             };
         }
     }
@@ -357,10 +579,24 @@ pub fn vertex_triangles(
 /// Exact triangle count of an oriented graph under the chosen kernel —
 /// the engine-backed replacement for the seed's merge-only
 /// `directed_count` loop.
+///
+/// Sizes the scratch bitmap to the graph once up front; the hot loop is
+/// then reallocation-free (asserted in debug builds).
 pub fn directed_triangles(g: &DirectedGraph, kernel: Kernel, scratch: &mut Scratch) -> u64 {
-    g.vertices()
+    scratch.reserve_vertices(g.num_vertices());
+    #[cfg(debug_assertions)]
+    let cap_before = (scratch.words.capacity(), scratch.touched.capacity());
+    let count = g
+        .vertices()
         .map(|u| vertex_triangles(g, u, kernel, scratch))
-        .sum()
+        .sum();
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        (scratch.words.capacity(), scratch.touched.capacity()),
+        cap_before,
+        "the pre-sized bitmap must not reallocate during a count"
+    );
+    count
 }
 
 /// Runs `f` against this thread's long-lived scratch. The default entry
@@ -405,6 +641,14 @@ impl ScratchPool {
             pool: self,
             scratch: Some(scratch),
         }
+    }
+
+    /// Checks out a scratch with its bitmap pre-sized for a graph of `n`
+    /// vertices, so the request that uses it never grows it mid-count.
+    pub fn checkout_for(&self, n: usize) -> PooledScratch<'_> {
+        let mut guard = self.checkout();
+        guard.reserve_vertices(n);
+        guard
     }
 
     /// Number of idle pooled instances.
@@ -477,6 +721,16 @@ mod tests {
             (vec![999], (0..1000).collect()),
             (vec![1000], (0..1000).collect()),
             ((0..1000).collect(), vec![0, 500, 999, 2000]),
+            // Word-boundary shapes: single-word, exactly one word, one
+            // bit into the next word, dense runs crossing words.
+            ((0..63).collect(), (0..63).collect()),
+            ((0..64).collect(), (32..96).collect()),
+            ((0..65).collect(), (64..65).collect()),
+            ((0..128).collect(), (63..65).collect()),
+            (
+                (0..128).step_by(2).collect(),
+                (0..128).step_by(64).collect(),
+            ),
         ]
     }
 
@@ -511,14 +765,20 @@ mod tests {
     }
 
     #[test]
-    fn stamp_epoch_wrap_resets_cleanly() {
+    fn reset_walk_restores_all_zero_at_rest() {
         let mut scratch = Scratch::new();
-        scratch.mark(&[1, 2, 3]);
-        scratch.epoch = u32::MAX; // simulate an ancient scratch
+        scratch.mark(&[1, 2, 3, 640, 700]);
         scratch.mark(&[2]);
+        // Every word outside the current touched set must be literally
+        // zero — the invariant that lets probes skip validity checks.
         assert!(scratch.is_marked(2));
-        assert!(!scratch.is_marked(1), "pre-wrap stamps must be forgotten");
-        assert!(!scratch.is_marked(3));
+        for stale in [1u32, 3, 640, 700] {
+            assert!(!scratch.is_marked(stale), "stale mark {stale} leaked");
+        }
+        let live: Vec<u64> = scratch.words.to_vec();
+        assert_eq!(live.iter().filter(|&&w| w != 0).count(), 1);
+        scratch.mark(&[]);
+        assert!(scratch.words.iter().all(|&w| w == 0));
     }
 
     #[test]
@@ -532,11 +792,53 @@ mod tests {
     }
 
     #[test]
-    fn probe_beyond_stamp_range_is_absent() {
+    fn probe_beyond_bitmap_range_is_absent() {
         let mut scratch = Scratch::new();
         scratch.mark(&[1, 2]);
         assert!(!scratch.is_marked(1_000_000));
         assert_eq!(scratch.count_marked(&[1, 1_000_000]), 1);
+        assert_eq!(scratch.count_marked_scalar(&[1, 1_000_000]), 1);
+    }
+
+    #[test]
+    fn word_and_scalar_probes_agree_across_word_boundaries() {
+        let mut scratch = Scratch::new();
+        let marked: Vec<u32> = (0..300).step_by(3).collect();
+        scratch.mark(&marked);
+        for probe in [
+            (0u32..64).collect::<Vec<_>>(),
+            (60..70).collect(),
+            (0..300).step_by(5).collect(),
+            vec![63, 64, 127, 128, 191, 192, 255, 256],
+            vec![299],
+            vec![],
+        ] {
+            assert_eq!(
+                scratch.count_marked(&probe),
+                scratch.count_marked_scalar(&probe),
+                "probe {probe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_words_read_as_empty_across_marks() {
+        let mut scratch = Scratch::new();
+        // Touch a far word, then mark a near one: the far word goes
+        // stale and must not leak into the new epoch's counts.
+        scratch.mark(&[640, 641]);
+        scratch.mark(&[1]);
+        assert_eq!(scratch.count_marked(&[640, 641, 1]), 1);
+    }
+
+    #[test]
+    fn reserve_vertices_pre_sizes_the_bitmap() {
+        let mut scratch = Scratch::new();
+        scratch.reserve_vertices(1000);
+        assert!(scratch.stamp_capacity() >= 1000);
+        let bytes = scratch.approx_bytes();
+        scratch.mark(&[999]);
+        assert_eq!(scratch.approx_bytes(), bytes, "mark within reserve is free");
     }
 
     #[test]
@@ -577,6 +879,13 @@ mod tests {
             assert!(s.approx_bytes() >= warm_bytes, "checkout must reuse");
         }
         assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn checkout_for_pre_sizes() {
+        let pool = ScratchPool::new();
+        let s = pool.checkout_for(5000);
+        assert!(s.stamp_capacity() >= 5000);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`bisson`] | Bisson & Fatica 2017 | block per vertex + bitmap + barriers |
 //! | [`hu`] | Hu/Guan/Zou 2019 | wedge per thread + shared staging + barriers |
 //! | [`fox`] | Fox/Green et al. 2018 | adaptive edge binning |
+//! | [`trust`] | Pandey et al. 2021 (TRUST) | block per vertex, hash buckets + probes |
 //! | [`cpu`] | Schank & Wagner baselines, Shun-style multicore | exact CPU counters |
 //!
 //! All GPU algorithms consume a [`tc_graph::DirectedGraph`] (the output of
@@ -29,8 +30,10 @@ pub mod gunrock;
 pub mod hu;
 pub mod intersect;
 pub mod polak;
+pub mod simd;
 mod trace_util;
 pub mod tricore;
+pub mod trust;
 
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -156,8 +159,9 @@ pub fn run_kernel_with_events<K: KernelGen + ?Sized>(
     )
 }
 
-/// Convenience: all five paper algorithms with default settings, for
-/// experiments that sweep over them.
+/// Convenience: every implemented GPU algorithm with default settings —
+/// the paper's five, Fox's binning, and the post-paper TRUST hashed
+/// kernel — for experiments that sweep over them.
 pub fn all_gpu_algorithms() -> Vec<Box<dyn GpuTriangleCounter>> {
     vec![
         Box::new(polak::Polak::default()),
@@ -166,5 +170,6 @@ pub fn all_gpu_algorithms() -> Vec<Box<dyn GpuTriangleCounter>> {
         Box::new(bisson::Bisson::default()),
         Box::new(hu::HuFineGrained::default()),
         Box::new(fox::Fox::default()),
+        Box::new(trust::Trust::default()),
     ]
 }

@@ -33,6 +33,7 @@ pub fn edge_supports(g: &CsrGraph) -> Vec<EdgeSupport> {
 
 /// [`edge_supports`] against a caller-owned scratch.
 pub fn edge_supports_with(g: &CsrGraph, scratch: &mut Scratch) -> Vec<EdgeSupport> {
+    scratch.reserve_vertices(g.num_vertices());
     g.edges()
         .map(|(u, v)| EdgeSupport {
             u,
@@ -58,6 +59,7 @@ pub fn triangles_per_vertex(g: &CsrGraph) -> Vec<u64> {
 /// [`triangles_per_vertex`] against a caller-owned scratch (the common
 /// neighbours are staged in the scratch's reusable buffer).
 pub fn triangles_per_vertex_with(g: &CsrGraph, scratch: &mut Scratch) -> Vec<u64> {
+    scratch.reserve_vertices(g.num_vertices());
     let mut counts = vec![0u64; g.num_vertices()];
     // Count each triangle once at its (u < v < w) representative, then
     // credit all three corners.

@@ -6,8 +6,11 @@
 //!
 //! `<id>` ∈ {table2, table3, table5, table6, fig7, fig8, fig9, fig10,
 //! fig11, fig12, fig13, fig14, fig15, fig16, ablation, algorithms,
-//! bench-pipeline, serve-bench, stream-bench, cpu-bench, all}. `--small`
-//! substitutes the small dataset suite for a quick smoke run.
+//! trust-grid, bench-pipeline, serve-bench, stream-bench, cpu-bench,
+//! all}. `--small` substitutes the small dataset suite for a quick smoke
+//! run; `--kernels=merge,adaptive` restricts `cpu-bench` to a kernel
+//! subset (each still count-asserted). `BENCH_cpu.json` is only
+//! rewritten by full, unfiltered `cpu-bench` runs.
 //!
 //! Experiment grids and trace generation run on all cores by default;
 //! set `TC_PIPELINE_THREADS=1` for a fully serial harness. Each
@@ -23,6 +26,8 @@ use tc_datasets::Dataset;
 struct Cli {
     env: ExperimentEnv,
     small: bool,
+    /// `--kernels=a,b,c` filter for `cpu-bench` (None = all kernels).
+    kernels: Option<String>,
 }
 
 impl Cli {
@@ -116,6 +121,11 @@ impl Cli {
                 let rows = fig16::run_on(&self.env, &self.suite_or(fig16::default_suite()));
                 println!("{}", fig16::render(&rows));
             }
+            "trust-grid" => {
+                let cells =
+                    trust_grid::run_on(&self.env, &self.suite_or(trust_grid::default_suite()));
+                println!("{}", trust_grid::render(&cells));
+            }
             "bench-pipeline" => {
                 let timings = pipeline_bench::run(self.small);
                 println!("{}", pipeline_bench::render(&timings));
@@ -141,14 +151,28 @@ impl Cli {
                 }
             }
             "cpu-bench" => {
-                let reports = cpu_bench::run(self.small);
-                println!("{}", cpu_bench::render(&reports));
-                let json = cpu_bench::to_json(&reports);
-                match std::fs::write("BENCH_cpu.json", &json) {
-                    Ok(()) => eprintln!("wrote BENCH_cpu.json"),
+                let kernels = match cpu_bench::select_kernels(self.kernels.as_deref()) {
+                    Ok(k) => k,
                     Err(e) => {
-                        eprintln!("could not write BENCH_cpu.json: {e}");
+                        eprintln!("{e}");
                         return false;
+                    }
+                };
+                let reports = cpu_bench::run_filtered(self.small, &kernels);
+                println!("{}", cpu_bench::render(&reports));
+                // Only full, unfiltered sweeps overwrite the committed
+                // benchmark file; smoke runs and kernel subsets would
+                // clobber it with partial data.
+                if self.small || kernels.len() != cpu_bench::KERNELS.len() {
+                    eprintln!("partial cpu-bench run: BENCH_cpu.json left untouched");
+                } else {
+                    let json = cpu_bench::to_json(&reports);
+                    match std::fs::write("BENCH_cpu.json", &json) {
+                        Ok(()) => eprintln!("wrote BENCH_cpu.json"),
+                        Err(e) => {
+                            eprintln!("could not write BENCH_cpu.json: {e}");
+                            return false;
+                        }
                     }
                 }
             }
@@ -184,7 +208,7 @@ impl Cli {
     }
 }
 
-const ALL: [&str; 16] = [
+const ALL: [&str; 17] = [
     "fig7",
     "fig8",
     "fig9",
@@ -201,11 +225,15 @@ const ALL: [&str; 16] = [
     "fig16",
     "ablation",
     "algorithms",
+    "trust-grid",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
+    let kernels = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--kernels=").map(str::to_string));
     let ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -213,7 +241,8 @@ fn main() {
         .collect();
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments <{}|bench-pipeline|serve-bench|stream-bench|cpu-bench|all> [--small]",
+            "usage: experiments <{}|bench-pipeline|serve-bench|stream-bench|cpu-bench|all> \
+             [--small] [--kernels=a,b,c]",
             ALL.join("|")
         );
         std::process::exit(2);
@@ -223,6 +252,7 @@ fn main() {
     let cli = Cli {
         env: ExperimentEnv::new(),
         small,
+        kernels,
     };
     eprintln!("lambda = {:.3}", cli.env.params().lambda);
 

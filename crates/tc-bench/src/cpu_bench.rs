@@ -26,8 +26,45 @@ use tc_datasets::Dataset;
 /// untimed warm-up run.
 const REPS: usize = 5;
 
-/// The kernel column order: seed baselines first, engine kernels after.
-pub const KERNELS: [&str; 5] = ["merge", "hashed", "galloping", "bitmap", "adaptive"];
+/// The kernel column order: seed baselines first, engine kernels after
+/// (the word-bitmap and SIMD-merge tiers land between the stamp bitmap
+/// and the adaptive dispatcher that folds them in).
+pub const KERNELS: [&str; 7] = [
+    "merge",
+    "hashed",
+    "galloping",
+    "bitmap",
+    "word-bitmap",
+    "simd-merge",
+    "adaptive",
+];
+
+/// Resolves a `--kernels=a,b,c` filter against [`KERNELS`], preserving
+/// the canonical column order. `None`/empty selects everything.
+pub fn select_kernels(filter: Option<&str>) -> Result<Vec<&'static str>, String> {
+    let Some(filter) = filter.map(str::trim).filter(|f| !f.is_empty()) else {
+        return Ok(KERNELS.to_vec());
+    };
+    let mut picked = Vec::new();
+    for name in filter.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+        match KERNELS.iter().find(|k| **k == name) {
+            Some(&k) if !picked.contains(&k) => picked.push(k),
+            Some(_) => {}
+            None => {
+                return Err(format!(
+                    "unknown kernel {name:?}; available: {}",
+                    KERNELS.join(", ")
+                ))
+            }
+        }
+    }
+    if picked.is_empty() {
+        return Err("kernel filter selected nothing".into());
+    }
+    // Canonical order regardless of how the filter listed them.
+    picked.sort_by_key(|k| KERNELS.iter().position(|c| c == k));
+    Ok(picked)
+}
 
 /// The orderings swept (direction is fixed to the paper's A-direction).
 pub fn orderings() -> Vec<OrderingScheme> {
@@ -98,12 +135,18 @@ fn time_counting(directed: &tc_graph::DirectedGraph, kernel_name: &str) -> (f64,
     (total_us / REPS as f64, triangles)
 }
 
-fn run_dataset(dataset: Dataset) -> CpuBenchReport {
+fn run_dataset(dataset: Dataset, kernels: &[&'static str]) -> CpuBenchReport {
     let g = tc_datasets::load(dataset);
     let mut rows = Vec::new();
     let mut triangles = None;
     let mut best_adaptive_speedup = f64::MIN;
     let mut worst_adaptive_ratio = f64::MAX;
+    // Independent ground truth on graphs small enough for the O(Σ d²)
+    // reference; the big datasets are covered by cross-kernel agreement
+    // (and the differential suites pin every kernel to node_iterator on
+    // generated graphs).
+    let ground_truth =
+        (g.num_vertices() <= 100_000 && g.num_edges() <= 150_000).then(|| cpu::node_iterator(&g));
 
     for ordering in orderings() {
         // Preprocess once per ordering, outside every timed region.
@@ -116,7 +159,7 @@ fn run_dataset(dataset: Dataset) -> CpuBenchReport {
         let mut merge_us = 0f64;
         let mut best_seed_us = f64::MAX;
         let mut adaptive_us = 0f64;
-        for kernel in KERNELS {
+        for &kernel in kernels {
             let (mean_us, count) = time_counting(directed, kernel);
             let expect = *triangles.get_or_insert(count);
             assert_eq!(
@@ -127,6 +170,16 @@ fn run_dataset(dataset: Dataset) -> CpuBenchReport {
                 ordering.name(),
                 dataset.name()
             );
+            if let Some(truth) = ground_truth {
+                assert_eq!(
+                    count,
+                    truth,
+                    "{} under {} disagrees with node_iterator on {}",
+                    kernel,
+                    ordering.name(),
+                    dataset.name()
+                );
+            }
             if kernel == "merge" {
                 merge_us = mean_us;
             }
@@ -143,14 +196,14 @@ fn run_dataset(dataset: Dataset) -> CpuBenchReport {
                 speedup_vs_merge: 0.0, // filled below once merge is known
             });
         }
-        for row in rows.iter_mut().rev().take(KERNELS.len()) {
-            row.speedup_vs_merge = if row.mean_us > 0.0 {
+        for row in rows.iter_mut().rev().take(kernels.len()) {
+            row.speedup_vs_merge = if merge_us > 0.0 && row.mean_us > 0.0 {
                 merge_us / row.mean_us
             } else {
                 0.0
             };
         }
-        if adaptive_us > 0.0 {
+        if adaptive_us > 0.0 && best_seed_us < f64::MAX {
             let ratio = best_seed_us / adaptive_us;
             best_adaptive_speedup = best_adaptive_speedup.max(ratio);
             worst_adaptive_ratio = worst_adaptive_ratio.min(ratio);
@@ -163,19 +216,32 @@ fn run_dataset(dataset: Dataset) -> CpuBenchReport {
         edges: g.num_edges(),
         triangles: triangles.unwrap_or(0),
         rows,
-        best_adaptive_speedup,
-        worst_adaptive_ratio,
+        best_adaptive_speedup: if best_adaptive_speedup == f64::MIN {
+            0.0
+        } else {
+            best_adaptive_speedup
+        },
+        worst_adaptive_ratio: if worst_adaptive_ratio == f64::MAX {
+            0.0
+        } else {
+            worst_adaptive_ratio
+        },
     }
 }
 
 /// Runs the benchmark. `small` trims to EmailEucore (the CI smoke run).
 pub fn run(small: bool) -> Vec<CpuBenchReport> {
+    run_filtered(small, &KERNELS)
+}
+
+/// [`run`] restricted to a kernel subset (see [`select_kernels`]).
+pub fn run_filtered(small: bool, kernels: &[&'static str]) -> Vec<CpuBenchReport> {
     let suite = if small {
         vec![Dataset::EmailEucore]
     } else {
         default_suite()
     };
-    suite.into_iter().map(run_dataset).collect()
+    suite.into_iter().map(|d| run_dataset(d, kernels)).collect()
 }
 
 /// Renders the sweep as a text table.
@@ -193,7 +259,9 @@ pub fn render(reports: &[CpuBenchReport]) -> String {
         }
     }
     let mut out = format!(
-        "CPU intersection-kernel sweep (directed counting loop, mean of {REPS} runs)\n{}",
+        "CPU intersection-kernel sweep (directed counting loop, mean of {REPS} runs, \
+         simd-merge tier: {})\n{}",
+        tc_algos::simd::active_tier(),
         t.render()
     );
     for report in reports {
@@ -211,7 +279,9 @@ pub fn to_json(reports: &[CpuBenchReport]) -> String {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut out = format!(
-        "{{\n  \"benchmark\": \"cpu-kernel-sweep\",\n  \"cores\": {cores},\n  \"reps\": {REPS},\n  \"datasets\": [\n"
+        "{{\n  \"benchmark\": \"cpu-kernel-sweep\",\n  \"cores\": {cores},\n  \"reps\": {REPS},\n  \
+         \"simd_tier\": \"{}\",\n  \"datasets\": [\n",
+        tc_algos::simd::active_tier()
     );
     for (i, r) in reports.iter().enumerate() {
         let rows: Vec<String> = r

@@ -12,3 +12,4 @@ pub mod fig8_9;
 pub mod table2;
 pub mod table3;
 pub mod table5_6;
+pub mod trust_grid;

@@ -1,0 +1,141 @@
+//! The TRUST sensitivity grid: hash-partitioned counting under every
+//! direction × ordering combination.
+//!
+//! The paper's preprocessing study (Figures 12–16) was argued for
+//! *intersection* kernels: A-direction bounds the pinned list, orderings
+//! fight resource conflicts in shared-memory bitmaps. TRUST intersects
+//! nothing — its per-wedge cost is the occupancy of a hash bucket
+//! `w mod H` — so none of those arguments transfer as-is. This grid
+//! measures what actually does: direction still controls `d⁺(u)` (the
+//! table build and the probe fan-out), while vertex *renumbering* now
+//! acts through the hash residues, a mechanism the paper never modelled.
+//!
+//! Rendered by `experiments -- trust-grid`; the findings land in
+//! EXPERIMENTS.md.
+
+use crate::fmt::{ms, Table};
+use crate::grid::par_map;
+use crate::runner::{measure_cached, ExperimentEnv, RunMeasurement};
+use tc_algos::trust::Trust;
+use tc_core::{DirectionScheme, OrderingScheme};
+use tc_datasets::Dataset;
+
+/// The direction schemes swept.
+pub const DIRECTIONS: [DirectionScheme; 3] = [
+    DirectionScheme::IdBased,
+    DirectionScheme::DegreeBased,
+    DirectionScheme::ADirection,
+];
+
+/// The ordering schemes swept.
+pub const ORDERINGS: [OrderingScheme; 3] = [
+    OrderingScheme::Original,
+    OrderingScheme::DegreeOrder,
+    OrderingScheme::AOrder,
+];
+
+/// One (dataset, direction, ordering) cell.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Direction scheme name.
+    pub direction: &'static str,
+    /// Ordering scheme name.
+    pub ordering: &'static str,
+    /// The measured run.
+    pub run: RunMeasurement,
+}
+
+/// The default dataset suite (one real sparse, one real social, one
+/// synthetic skewed).
+pub fn default_suite() -> Vec<Dataset> {
+    vec![Dataset::EmailEnron, Dataset::Gowalla, Dataset::KronLogn18]
+}
+
+/// Evaluates the full grid in parallel (cells are independent; the
+/// preprocessed variants are memoised per (dataset, direction, ordering)
+/// by the environment).
+pub fn run_on(env: &ExperimentEnv, datasets: &[Dataset]) -> Vec<Cell> {
+    let algo = Trust::default();
+    let cells: Vec<(Dataset, DirectionScheme, OrderingScheme)> = datasets
+        .iter()
+        .flat_map(|&d| {
+            DIRECTIONS
+                .iter()
+                .flat_map(move |&dir| ORDERINGS.iter().map(move |&ord| (d, dir, ord)))
+        })
+        .collect();
+    let runs = par_map(&cells, |&(d, dir, ord)| {
+        measure_cached(env, d, dir, ord, 64, &algo)
+    });
+    cells
+        .iter()
+        .zip(runs)
+        .map(|(&(d, dir, ord), run)| Cell {
+            dataset: d.name(),
+            direction: dir.name(),
+            ordering: ord.name(),
+            run,
+        })
+        .collect()
+}
+
+/// Renders the grid plus the per-dataset sensitivity digest
+/// (best/worst kernel time over the nine cells).
+pub fn render(cells: &[Cell]) -> String {
+    let mut t = Table::new([
+        "dataset",
+        "direction",
+        "ordering",
+        "kernel",
+        "prep",
+        "triangles",
+    ]);
+    for c in cells {
+        t.row([
+            c.dataset.to_string(),
+            c.direction.to_string(),
+            c.ordering.to_string(),
+            ms(c.run.kernel_ms),
+            ms(c.run.direction_ms + c.run.ordering_ms),
+            c.run.triangles.to_string(),
+        ]);
+    }
+    let mut out = format!(
+        "TRUST grid: hash-partitioned counting across direction x ordering\n{}",
+        t.render()
+    );
+    let mut seen: Vec<&str> = Vec::new();
+    for c in cells {
+        if seen.contains(&c.dataset) {
+            continue;
+        }
+        seen.push(c.dataset);
+        let times: Vec<(f64, &Cell)> = cells
+            .iter()
+            .filter(|x| x.dataset == c.dataset)
+            .map(|x| (x.run.kernel_ms, x))
+            .collect();
+        let (best_ms, best) = times
+            .iter()
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("non-empty grid");
+        let (worst_ms, worst) = times
+            .iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("non-empty grid");
+        out.push_str(&format!(
+            "{}: best {} ({} + {}), worst {} ({} + {}), spread {:.2}x\n",
+            c.dataset,
+            ms(*best_ms),
+            best.direction,
+            best.ordering,
+            ms(*worst_ms),
+            worst.direction,
+            worst.ordering,
+            worst_ms / best_ms.max(f64::MIN_POSITIVE),
+        ));
+    }
+    out
+}

@@ -155,7 +155,7 @@ impl Executor {
             }
             Request::Ktruss(dataset) => {
                 let g = self.registry.graph(*dataset);
-                let mut scratch = self.scratch.checkout();
+                let mut scratch = self.scratch.checkout_for(g.num_vertices());
                 let trussness = tc_apps::ktruss_decomposition_with(&g, &mut scratch);
                 // Deterministic summary: edges per truss level, ascending.
                 let mut levels: BTreeMap<u32, u64> = BTreeMap::new();
@@ -175,7 +175,7 @@ impl Executor {
             }
             Request::Clustering(dataset) => {
                 let g = self.registry.graph(*dataset);
-                let mut scratch = self.scratch.checkout();
+                let mut scratch = self.scratch.checkout_for(g.num_vertices());
                 let local = tc_apps::clustering_coefficients_with(&g, &mut scratch);
                 let mean_local = if local.is_empty() {
                     0.0
@@ -201,7 +201,7 @@ impl Executor {
                         ),
                     ));
                 }
-                let mut scratch = self.scratch.checkout();
+                let mut scratch = self.scratch.checkout_for(g.num_vertices());
                 let scores = tc_apps::recommend_for_with(&g, *source, *k, &mut scratch);
                 let rows: Vec<Json> = scores
                     .iter()

@@ -161,6 +161,10 @@ impl DynamicGraph {
     pub fn with_initial_count(base: CsrGraph, triangles: u64) -> Self {
         let policy = CompactionPolicy::for_graph(&base);
         let num_edges = base.num_edges();
+        let mut scratch = Scratch::new();
+        // Vertex count is fixed for the stream's lifetime: one bitmap
+        // sizing here keeps every per-edge delta allocation-free.
+        scratch.reserve_vertices(base.num_vertices());
         Self {
             base,
             delta: DeltaAdjacency::new(),
@@ -170,7 +174,7 @@ impl DynamicGraph {
             preprocessor: None,
             prep: None,
             counters: StreamCounters::default(),
-            scratch: Scratch::new(),
+            scratch,
         }
     }
 

@@ -13,9 +13,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy -p tc-algos -- -D warnings (intersection engine, standalone gate)"
 cargo clippy -p tc-algos --all-targets -- -D warnings
 
-echo "==> tier-1: cargo build --release && cargo test -q"
+echo "==> cargo clippy -p tc-algos --features simd -- -D warnings (vectorised tiers)"
+cargo clippy -p tc-algos --all-targets --features simd -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q (default features)"
 cargo build --release
 cargo test -q
+
+echo "==> tier-1 again under --features simd (SSE2/AVX2 merge tiers live)"
+cargo build --release -p tc-algos --features simd
+cargo test -q -p tc-algos --features simd
 
 echo "==> service smoke test (ephemeral port, one query per endpoint)"
 cargo run --release -q --example service_demo
