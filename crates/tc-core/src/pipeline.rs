@@ -52,6 +52,46 @@ pub struct PreprocessResult {
 }
 
 impl PreprocessResult {
+    /// Reassembles a result from its constituent parts — the snapshot
+    /// deserialization path (`tc-persist` stores the three big arrays and
+    /// rebuilds the rest). The out-degree profile is recomputed from the
+    /// oriented graph and the timings are zeroed: a recovered variant
+    /// never re-paid its preprocessing, which is the point.
+    pub fn from_parts(
+        reordered: CsrGraph,
+        directed: DirectedGraph,
+        permutation: Permutation,
+    ) -> Result<Self, String> {
+        let n = reordered.num_vertices();
+        if directed.num_vertices() != n {
+            return Err(format!(
+                "directed graph has {} vertices, reordered has {n}",
+                directed.num_vertices()
+            ));
+        }
+        if permutation.len() != n {
+            return Err(format!(
+                "permutation maps {} vertices, reordered has {n}",
+                permutation.len()
+            ));
+        }
+        if directed.num_edges() != reordered.num_edges() {
+            return Err(format!(
+                "directed graph has {} edges, reordered has {}",
+                directed.num_edges(),
+                reordered.num_edges()
+            ));
+        }
+        let out_degrees = directed.out_degrees();
+        Ok(Self {
+            reordered,
+            directed,
+            permutation,
+            out_degrees,
+            timings: PreprocessTimings::default(),
+        })
+    }
+
     /// The relabelled undirected graph.
     pub fn graph(&self) -> &CsrGraph {
         &self.reordered

@@ -1,4 +1,6 @@
-//! Compact binary graph format.
+//! Compact binary graph format, plus the checksummed frame layer the
+//! persistence subsystem (`tc-persist`) builds its snapshot and WAL
+//! files on.
 //!
 //! Text edge lists re-parse slowly and lose the canonical CSR layout; this
 //! versioned little-endian binary format round-trips a [`CsrGraph`]
@@ -11,12 +13,46 @@
 //! offsets (n+1) × u64
 //! adjacency 2m × u32
 //! ```
+//!
+//! The raw format detects *structural* corruption (the CSR invariants are
+//! re-validated on read) but not silent payload bit-flips. The **frame**
+//! layer adds end-to-end integrity: a magic/version header, a 4-byte
+//! content tag, the payload length, and a CRC32 of the payload —
+//! corruption anywhere surfaces as a typed [`BinError`], never a panic
+//! and never a silently-wrong graph:
+//!
+//! ```text
+//! magic   4 bytes  b"TCFR"
+//! version 2 bytes  u16 = 1
+//! tag     4 bytes  content kind (e.g. b"CSRG", or tc-persist's tags)
+//! len     8 bytes  u64 payload length
+//! crc     4 bytes  CRC32 (IEEE) of the payload
+//! payload len bytes
+//! ```
+//!
+//! [`write_frame`]/[`read_frame`] are content-agnostic (tc-persist frames
+//! its snapshot records and WAL entries through them);
+//! [`write_binary_checked`]/[`read_binary_checked`] are the
+//! graph-payload convenience pair.
 
 use crate::{CsrGraph, VertexId};
 use std::io::{Read, Write};
 
 /// Format magic + version.
 pub const MAGIC: &[u8; 8] = b"TCGRAPH1";
+
+/// Frame-layer magic.
+pub const FRAME_MAGIC: &[u8; 4] = b"TCFR";
+
+/// Frame-layer format version.
+pub const FRAME_VERSION: u16 = 1;
+
+/// Frame tag for a checksummed [`CsrGraph`] payload.
+pub const TAG_GRAPH: [u8; 4] = *b"CSRG";
+
+/// Defensive cap on a single frame payload (16 GiB): header `len` fields
+/// beyond it are treated as corruption, not allocation requests.
+const MAX_FRAME_PAYLOAD: u64 = 1 << 34;
 
 /// Errors from binary (de)serialization.
 #[derive(Debug)]
@@ -27,14 +63,30 @@ pub enum BinError {
     BadMagic,
     /// Structurally invalid payload.
     Corrupt(String),
+    /// Frame payload failed its CRC32 check — the file was altered or
+    /// bit-rotted after it was written.
+    Checksum {
+        /// CRC recorded in the frame header.
+        expected: u32,
+        /// CRC computed over the payload actually read.
+        actual: u32,
+    },
+    /// The stream ended inside a frame (torn write): the header promised
+    /// more bytes than the file holds.
+    Truncated,
 }
 
 impl std::fmt::Display for BinError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BinError::Io(e) => write!(f, "I/O error: {e}"),
-            BinError::BadMagic => write!(f, "not a TCGRAPH1 file"),
+            BinError::BadMagic => write!(f, "not a recognised tc-graph binary file"),
             BinError::Corrupt(msg) => write!(f, "corrupt graph file: {msg}"),
+            BinError::Checksum { expected, actual } => write!(
+                f,
+                "checksum mismatch: header says {expected:#010x}, payload hashes to {actual:#010x}"
+            ),
+            BinError::Truncated => write!(f, "frame truncated mid-payload (torn write)"),
         }
     }
 }
@@ -96,6 +148,180 @@ fn read_u64<R: Read>(r: &mut R) -> Result<u64, BinError> {
     Ok(u64::from_le_bytes(buf))
 }
 
+// --- CRC32 (IEEE 802.3, polynomial 0xEDB88320) ---------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of a byte slice — the checksum the frame layer records.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// --- Frame layer ----------------------------------------------------------
+
+/// One decoded frame: its content tag and verified payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Content kind (writer-defined, e.g. [`TAG_GRAPH`]).
+    pub tag: [u8; 4],
+    /// The payload, already CRC-verified.
+    pub payload: Vec<u8>,
+}
+
+/// Writes one checksummed frame: header (magic, version, tag, length,
+/// CRC32 of `payload`) then the payload itself.
+pub fn write_frame<W: Write>(mut w: W, tag: [u8; 4], payload: &[u8]) -> Result<(), BinError> {
+    w.write_all(FRAME_MAGIC)?;
+    w.write_all(&FRAME_VERSION.to_le_bytes())?;
+    w.write_all(&tag)?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads the next frame and verifies its checksum.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (no bytes where the next
+/// frame would start) — the loop-termination case WAL replay relies on.
+/// A stream that ends *inside* a frame is a torn write
+/// ([`BinError::Truncated`]); a payload that fails its CRC is
+/// [`BinError::Checksum`]. Neither panics.
+pub fn read_frame<R: Read>(mut r: R) -> Result<Option<Frame>, BinError> {
+    // The first header byte decides between clean EOF and a torn frame.
+    let mut magic = [0u8; 4];
+    let mut got = 0usize;
+    while got < magic.len() {
+        match r.read(&mut magic[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(BinError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(BinError::Io(e)),
+        }
+    }
+    if &magic != FRAME_MAGIC {
+        return Err(BinError::BadMagic);
+    }
+    let mut header = [0u8; 18]; // version(2) + tag(4) + len(8) + crc(4)
+    r.read_exact(&mut header).map_err(truncated_on_eof)?;
+    let version = u16::from_le_bytes([header[0], header[1]]);
+    if version != FRAME_VERSION {
+        return Err(BinError::Corrupt(format!(
+            "unsupported frame version {version}"
+        )));
+    }
+    let tag = [header[2], header[3], header[4], header[5]];
+    let len = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(BinError::Corrupt(format!(
+            "implausible frame payload length {len}"
+        )));
+    }
+    let expected = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes"));
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(truncated_on_eof)?;
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(BinError::Checksum { expected, actual });
+    }
+    Ok(Some(Frame { tag, payload }))
+}
+
+fn truncated_on_eof(e: std::io::Error) -> BinError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        BinError::Truncated
+    } else {
+        BinError::Io(e)
+    }
+}
+
+// --- Checksummed graph format ---------------------------------------------
+
+/// Serializes a graph into the raw (unframed) payload bytes: the v1
+/// body without its magic. `tc-persist` embeds these inside its own
+/// frames.
+pub fn graph_to_bytes(g: &CsrGraph) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + (g.num_vertices() + 1) * 8 + 2 * g.num_edges() * 4);
+    buf.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+    buf.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
+    for &o in g.offsets() {
+        buf.extend_from_slice(&(o as u64).to_le_bytes());
+    }
+    for &v in g.neighbor_array() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+/// Deserializes [`graph_to_bytes`] output, re-validating every CSR
+/// invariant.
+pub fn graph_from_bytes(bytes: &[u8]) -> Result<CsrGraph, BinError> {
+    let mut r = bytes;
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    if n > (1 << 33) || m > (1 << 36) {
+        return Err(BinError::Corrupt(format!("implausible sizes n={n} m={m}")));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)? as usize);
+    }
+    let mut neighbors: Vec<VertexId> = Vec::with_capacity(2 * m);
+    let mut buf = [0u8; 4];
+    for _ in 0..2 * m {
+        r.read_exact(&mut buf)?;
+        neighbors.push(u32::from_le_bytes(buf));
+    }
+    if offsets.last().copied() != Some(2 * m) {
+        return Err(BinError::Corrupt("offsets and edge count disagree".into()));
+    }
+    CsrGraph::try_from_parts(offsets, neighbors).map_err(BinError::Corrupt)
+}
+
+/// Writes a graph as one checksummed frame ([`TAG_GRAPH`]): the
+/// bit-flip-detecting counterpart of [`write_binary`].
+pub fn write_binary_checked<W: Write>(g: &CsrGraph, w: W) -> Result<(), BinError> {
+    write_frame(w, TAG_GRAPH, &graph_to_bytes(g))
+}
+
+/// Reads a graph written by [`write_binary_checked`], verifying the
+/// checksum before any structural validation.
+pub fn read_binary_checked<R: Read>(r: R) -> Result<CsrGraph, BinError> {
+    let frame = read_frame(r)?.ok_or(BinError::Truncated)?;
+    if frame.tag != TAG_GRAPH {
+        return Err(BinError::Corrupt(format!(
+            "unexpected frame tag {:?} (wanted CSRG)",
+            frame.tag
+        )));
+    }
+    graph_from_bytes(&frame.payload)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +375,80 @@ mod tests {
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
         assert!(matches!(read_binary(&buf[..]), Err(BinError::Corrupt(_))));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_and_terminate_cleanly() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, *b"AAAA", b"first payload").expect("write");
+        write_frame(&mut buf, *b"BBBB", b"").expect("write");
+        let mut r = &buf[..];
+        let a = read_frame(&mut r).expect("read").expect("frame present");
+        assert_eq!(
+            (a.tag, a.payload.as_slice()),
+            (*b"AAAA", &b"first payload"[..])
+        );
+        let b = read_frame(&mut r).expect("read").expect("frame present");
+        assert_eq!((b.tag, b.payload.len()), (*b"BBBB", 0));
+        assert!(read_frame(&mut r).expect("clean EOF").is_none());
+    }
+
+    #[test]
+    fn checked_format_round_trips() {
+        let g = erdos_renyi(100, 300, 1);
+        let mut buf = Vec::new();
+        write_binary_checked(&g, &mut buf).expect("write");
+        assert_eq!(read_binary_checked(&buf[..]).expect("read"), g);
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        // The satellite guarantee: flip ANY single byte of a checked
+        // file and reading reports a typed error — never a panic, never
+        // a silently different graph.
+        let g = erdos_renyi(30, 60, 7);
+        let mut clean = Vec::new();
+        write_binary_checked(&g, &mut clean).expect("write");
+        for idx in 0..clean.len() {
+            let mut buf = clean.clone();
+            buf[idx] ^= 0x40;
+            match read_binary_checked(&buf[..]) {
+                Err(_) => {}
+                Ok(h) => panic!("flip at byte {idx} went undetected (got {h:?})"),
+            }
+        }
+        // Payload flips specifically surface as checksum mismatches.
+        let payload_start = clean.len() - 8;
+        let mut buf = clean.clone();
+        buf[payload_start] ^= 0xFF;
+        assert!(matches!(
+            read_binary_checked(&buf[..]),
+            Err(BinError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn torn_frames_are_distinguished_from_clean_eof() {
+        let g = erdos_renyi(20, 40, 2);
+        let mut buf = Vec::new();
+        write_binary_checked(&g, &mut buf).expect("write");
+        // Cut inside the payload: torn.
+        let torn = &buf[..buf.len() - 3];
+        assert!(matches!(read_frame(torn), Err(BinError::Truncated)));
+        // Cut inside the header: also torn.
+        assert!(matches!(read_frame(&buf[..9]), Err(BinError::Truncated)));
+        // No bytes at all: clean end-of-stream.
+        assert!(read_frame(&[][..]).expect("clean").is_none());
     }
 }

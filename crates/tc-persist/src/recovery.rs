@@ -1,0 +1,273 @@
+//! Recovery: turn what the disk holds (snapshots + WAL) back into live
+//! state, deterministically.
+//!
+//! Sequence (DESIGN §3.11):
+//!
+//! 1. **Entry snapshots** load first — each is a self-contained
+//!    preprocessed variant. Entries whose dataset also has stream state
+//!    (a snapshot or any WAL record) are dropped as stale: the live
+//!    system would have invalidated them on the first `update`.
+//! 2. **Stream snapshots** restore next, via
+//!    [`DynamicGraph::restore`] — exact state as of `last_seq`.
+//! 3. **WAL replay** walks every intact record in sequence order.
+//!    Records with `seq <= last_seq` of their dataset's snapshot are
+//!    skipped (already folded in); the rest are applied through the
+//!    same [`DynamicGraph::apply_batch`] the live path uses. A dataset
+//!    with WAL records but no snapshot is seeded exactly like the live
+//!    first-touch path: `DynamicGraph::new(tc_datasets::load(..))`.
+//!
+//! Because `apply_batch` is a pure function of (state, batch) and both
+//! the snapshot and the log preserve order, the recovered stream is
+//! bit-for-bit the state the pre-crash process held after its last
+//! durable append — the crash-recovery e2e test compares counters and
+//! counts against an unkilled replica to prove it.
+
+use crate::codec::{EntryRecord, StreamRecord, WalRecord};
+use crate::PersistError;
+use std::collections::HashMap;
+use tc_datasets::Dataset;
+use tc_stream::DynamicGraph;
+
+/// What recovery did, for the `recover-stats` admin op and logs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Preprocessed entries recovered from snapshots.
+    pub entries_loaded: usize,
+    /// Entry snapshots dropped because their dataset had stream state.
+    pub entries_dropped_stale: usize,
+    /// Streams seeded from a stream snapshot.
+    pub streams_from_snapshot: usize,
+    /// Streams seeded fresh (WAL records but no snapshot).
+    pub streams_from_wal: usize,
+    /// WAL records applied during replay.
+    pub wal_records_replayed: u64,
+    /// WAL records skipped as already folded into a snapshot.
+    pub wal_records_skipped: u64,
+    /// Bytes truncated off a torn WAL tail.
+    pub torn_bytes_truncated: u64,
+    /// WAL segments present at startup.
+    pub wal_segments: usize,
+    /// Snapshot files skipped as corrupt (descriptions).
+    pub corrupt_files: Vec<String>,
+}
+
+/// One recovered stream: the dataset, the last WAL sequence reflected
+/// in the graph, and the graph itself.
+pub struct RecoveredStream {
+    /// The streamed dataset.
+    pub dataset: Dataset,
+    /// Highest WAL seq applied (0 if none ever was).
+    pub applied_seq: u64,
+    /// The reconstructed dynamic graph.
+    pub graph: DynamicGraph,
+}
+
+/// Output of [`recover`]: live state ready to install, stale entry keys
+/// whose files should be deleted, and the report.
+pub struct Recovered {
+    /// Preprocessed entries to re-admit to the registry.
+    pub entries: Vec<EntryRecord>,
+    /// Entry records dropped as stale (dataset had stream state); the
+    /// store deletes their files.
+    pub stale_entries: Vec<EntryRecord>,
+    /// Reconstructed streams, one per mutated dataset.
+    pub streams: Vec<RecoveredStream>,
+    /// What happened.
+    pub report: RecoveryReport,
+}
+
+/// Rebuilds live state from decoded snapshots and the scanned WAL.
+///
+/// `records` must be in sequence order (the WAL scan guarantees it).
+/// Errors only on inconsistencies that CRC-intact data should never
+/// exhibit (a snapshot that fails [`DynamicGraph::restore`] validation,
+/// a replay against a vertex set that cannot hold it) — bit-rot was
+/// already filtered into `corrupt_files` by the loaders.
+pub fn recover(
+    entries: Vec<EntryRecord>,
+    stream_snaps: Vec<StreamRecord>,
+    records: &[WalRecord],
+    corrupt_files: Vec<String>,
+    torn_bytes_truncated: u64,
+    wal_segments: usize,
+) -> Result<Recovered, PersistError> {
+    let mut report = RecoveryReport {
+        torn_bytes_truncated,
+        wal_segments,
+        corrupt_files,
+        ..RecoveryReport::default()
+    };
+
+    // Streams: snapshot-seeded first.
+    let mut streams: HashMap<Dataset, (u64, DynamicGraph)> = HashMap::new();
+    for rec in stream_snaps {
+        let graph = DynamicGraph::restore(rec.snapshot).map_err(|e| {
+            PersistError::Corrupt(format!(
+                "stream snapshot for {} failed validation: {e}",
+                rec.dataset.name()
+            ))
+        })?;
+        streams.insert(rec.dataset, (rec.last_seq, graph));
+        report.streams_from_snapshot += 1;
+    }
+
+    // WAL replay, in global sequence order.
+    for rec in records {
+        let (applied_seq, graph) = match streams.entry(rec.dataset) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                // Same seed as the live first-touch path.
+                report.streams_from_wal += 1;
+                e.insert((0, DynamicGraph::new(tc_datasets::load(rec.dataset))))
+            }
+        };
+        if rec.seq <= *applied_seq {
+            report.wal_records_skipped += 1;
+            continue;
+        }
+        graph.apply_batch(&rec.ops);
+        *applied_seq = rec.seq;
+        report.wal_records_replayed += 1;
+    }
+
+    // Entries: keep only those whose dataset never mutated.
+    let (fresh, stale): (Vec<_>, Vec<_>) = entries
+        .into_iter()
+        .partition(|e| !streams.contains_key(&e.key.dataset));
+    report.entries_loaded = fresh.len();
+    report.entries_dropped_stale = stale.len();
+
+    let mut streams: Vec<RecoveredStream> = streams
+        .into_iter()
+        .map(|(dataset, (applied_seq, graph))| RecoveredStream {
+            dataset,
+            applied_seq,
+            graph,
+        })
+        .collect();
+    streams.sort_by_key(|s| s.dataset.name());
+
+    Ok(Recovered {
+        entries: fresh,
+        stale_entries: stale,
+        streams,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::PrepKey;
+    use tc_core::{DirectionScheme, OrderingScheme, Preprocessor};
+    use tc_stream::EdgeOp;
+
+    fn wal_rec(seq: u64, dataset: Dataset, ops: Vec<EdgeOp>) -> WalRecord {
+        WalRecord { seq, dataset, ops }
+    }
+
+    /// An edge absent from the dataset's stand-in (found by scan), so
+    /// inserts genuinely mutate.
+    fn absent_edge(dataset: Dataset) -> (u32, u32) {
+        let g = tc_datasets::load(dataset);
+        (0..g.num_vertices() as u32)
+            .flat_map(|u| ((u + 1)..g.num_vertices() as u32).map(move |v| (u, v)))
+            .find(|&(u, v)| !g.has_edge(u, v))
+            .expect("not complete")
+    }
+
+    #[test]
+    fn replay_from_scratch_matches_direct_application() {
+        let ds = Dataset::EmailEucore;
+        let (u, v) = absent_edge(ds);
+        let batches = [
+            vec![EdgeOp::Insert(u, v)],
+            vec![EdgeOp::Delete(u, v), EdgeOp::Insert(u, v)],
+        ];
+
+        // The unkilled replica.
+        let mut direct = DynamicGraph::new(tc_datasets::load(ds));
+        for b in &batches {
+            direct.apply_batch(b);
+        }
+
+        // Recovery from WAL only.
+        let records: Vec<WalRecord> = batches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| wal_rec(i as u64 + 1, ds, b.clone()))
+            .collect();
+        let rec = recover(vec![], vec![], &records, vec![], 0, 1).expect("recover");
+        assert_eq!(rec.report.streams_from_wal, 1);
+        assert_eq!(rec.report.wal_records_replayed, 2);
+        let s = &rec.streams[0];
+        assert_eq!(s.applied_seq, 2);
+        assert_eq!(s.graph.triangles(), direct.triangles());
+        assert_eq!(s.graph.counters(), direct.counters());
+        assert_eq!(s.graph.materialize(), direct.materialize());
+    }
+
+    #[test]
+    fn snapshot_plus_tail_replay_skips_folded_records() {
+        let ds = Dataset::EmailEucore;
+        let (u, v) = absent_edge(ds);
+        let mut live = DynamicGraph::new(tc_datasets::load(ds));
+        live.apply_batch(&[EdgeOp::Insert(u, v)]); // seq 1, folded into snapshot
+        let snap = StreamRecord {
+            dataset: ds,
+            last_seq: 1,
+            snapshot: live.snapshot(),
+        };
+        live.apply_batch(&[EdgeOp::Delete(u, v)]); // seq 2, only in the WAL
+
+        let records = [
+            wal_rec(1, ds, vec![EdgeOp::Insert(u, v)]),
+            wal_rec(2, ds, vec![EdgeOp::Delete(u, v)]),
+        ];
+        let rec = recover(vec![], vec![snap], &records, vec![], 0, 1).expect("recover");
+        assert_eq!(rec.report.streams_from_snapshot, 1);
+        assert_eq!(rec.report.wal_records_skipped, 1);
+        assert_eq!(rec.report.wal_records_replayed, 1);
+        let s = &rec.streams[0];
+        assert_eq!(s.applied_seq, 2);
+        assert_eq!(s.graph.triangles(), live.triangles());
+        assert_eq!(s.graph.counters(), live.counters());
+        assert_eq!(s.graph.materialize(), live.materialize());
+    }
+
+    #[test]
+    fn stale_entries_are_partitioned_out() {
+        let ds = Dataset::EmailEucore;
+        let other = Dataset::Gowalla;
+        let make_entry = |dataset| {
+            let g = tc_datasets::load(dataset);
+            EntryRecord {
+                key: PrepKey {
+                    dataset,
+                    direction: DirectionScheme::ADirection,
+                    ordering: OrderingScheme::AOrder,
+                    bucket_size: 64,
+                },
+                prep: Preprocessor::new().run(&g),
+                triangles: None,
+            }
+        };
+        let (u, v) = absent_edge(ds);
+        let records = [wal_rec(1, ds, vec![EdgeOp::Insert(u, v)])];
+        let rec = recover(
+            vec![make_entry(ds), make_entry(other)],
+            vec![],
+            &records,
+            vec![],
+            0,
+            1,
+        )
+        .expect("recover");
+        assert_eq!(rec.entries.len(), 1);
+        assert_eq!(rec.entries[0].key.dataset, other);
+        assert_eq!(rec.stale_entries.len(), 1);
+        assert_eq!(rec.stale_entries[0].key.dataset, ds);
+        assert_eq!(rec.report.entries_loaded, 1);
+        assert_eq!(rec.report.entries_dropped_stale, 1);
+    }
+}

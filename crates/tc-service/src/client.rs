@@ -24,6 +24,35 @@ impl ServiceClient {
         Ok(Self { writer, reader })
     }
 
+    /// Connects with bounded retry: connection-refused/reset failures
+    /// (the server is restarting — e.g. recovering its WAL) back off
+    /// exponentially from 10ms, capped at 500ms per wait, for at most
+    /// `attempts` tries. Other errors (unroutable address, permission)
+    /// fail immediately — retrying cannot fix them.
+    pub fn connect_with_retry(addr: impl ToSocketAddrs, attempts: u32) -> std::io::Result<Self> {
+        let mut backoff = std::time::Duration::from_millis(10);
+        let mut tries = 0;
+        loop {
+            match Self::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    tries += 1;
+                    let transient = matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionRefused
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::ConnectionAborted
+                    );
+                    if !transient || tries >= attempts.max(1) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(std::time::Duration::from_millis(500));
+                }
+            }
+        }
+    }
+
     /// Sends one raw request line and returns the raw response line
     /// (no trailing newline).
     pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {

@@ -52,6 +52,9 @@ pub struct Executor {
     /// duration, so repeated warm queries do zero intersection-path heap
     /// allocation regardless of which worker thread picks them up.
     pub scratch: Arc<ScratchPool>,
+    /// What startup recovery did, when persistence is enabled — the
+    /// `recover-stats` admin op reports it verbatim.
+    pub recovery: Option<tc_persist::RecoveryReport>,
 }
 
 /// The kernel names `simulate` accepts.
@@ -115,13 +118,14 @@ impl Executor {
             }
             Request::Count(target) => {
                 // The triangle count is memoised on the cache entry: the
-                // first `count` per cached prep computes, repeats look up.
-                let entry = self.registry.entry(*target);
+                // first `count` per cached prep computes, repeats look up
+                // (and, with persistence on, the memo goes durable too).
+                let (entry, triangles) = self.registry.count(*target);
                 let prep = entry.prep();
                 let mut payload = target_members(target);
                 payload.push(("nodes".into(), u(prep.graph().num_vertices() as u64)));
                 payload.push(("edges".into(), u(prep.graph().num_edges() as u64)));
-                payload.push(("triangles".into(), u(entry.triangles())));
+                payload.push(("triangles".into(), u(triangles)));
                 Ok(payload)
             }
             Request::Simulate(target, algo) => {
@@ -238,7 +242,10 @@ impl Executor {
                 Ok(vec![("evicted".into(), u(evicted as u64))])
             }
             Request::Update { dataset, ops } => {
-                let r = self.registry.apply_update(*dataset, ops);
+                let r = self
+                    .registry
+                    .apply_update(*dataset, ops)
+                    .map_err(|e| ServiceError::new(ErrorKind::Failed, e))?;
                 Ok(vec![
                     ("dataset".into(), s(dataset.name())),
                     ("inserted".into(), u(r.inserted as u64)),
@@ -272,6 +279,44 @@ impl Executor {
                     .map(|info| Json::Obj(stream_members(info)))
                     .collect();
                 Ok(vec![("streams".into(), Json::Arr(rows))])
+            }
+            Request::Snapshot => {
+                let streams = self
+                    .registry
+                    .snapshot_now()
+                    .map_err(|e| ServiceError::new(ErrorKind::Failed, e))?;
+                let mut payload = vec![("streams_snapshotted".into(), u(streams as u64))];
+                if let Some(stats) = self.registry.store().and_then(|st| st.stats().ok()) {
+                    payload.push(("snapshot_files".into(), u(stats.snapshots.files as u64)));
+                    payload.push(("snapshot_bytes".into(), u(stats.snapshots.bytes)));
+                    payload.push(("wal_segments".into(), u(stats.wal.segments as u64)));
+                }
+                Ok(payload)
+            }
+            Request::RecoverStats => {
+                let r = self.recovery.as_ref().ok_or_else(|| {
+                    ServiceError::new(ErrorKind::Failed, "persistence is not enabled")
+                })?;
+                Ok(vec![
+                    ("entries_loaded".into(), u(r.entries_loaded as u64)),
+                    (
+                        "entries_dropped_stale".into(),
+                        u(r.entries_dropped_stale as u64),
+                    ),
+                    (
+                        "streams_from_snapshot".into(),
+                        u(r.streams_from_snapshot as u64),
+                    ),
+                    ("streams_from_wal".into(), u(r.streams_from_wal as u64)),
+                    ("wal_records_replayed".into(), u(r.wal_records_replayed)),
+                    ("wal_records_skipped".into(), u(r.wal_records_skipped)),
+                    ("torn_bytes_truncated".into(), u(r.torn_bytes_truncated)),
+                    ("wal_segments".into(), u(r.wal_segments as u64)),
+                    (
+                        "corrupt_files".into(),
+                        Json::Arr(r.corrupt_files.iter().map(|f| s(f.clone())).collect()),
+                    ),
+                ])
             }
             Request::Stats => Ok(self.stats_payload()),
             // Shutdown is acknowledged by the connection layer (the
@@ -345,8 +390,31 @@ impl Executor {
                     ("invalidations", u(reg.invalidations)),
                     ("raw_graphs", u(reg.raw_graphs as u64)),
                     ("streams", u(reg.streams as u64)),
+                    ("recovered_entries", u(reg.recovered_entries)),
                 ]),
             ),
+            ("persistence".into(), {
+                match self.registry.store() {
+                    None => obj(vec![("enabled", Json::Bool(false))]),
+                    Some(store) => {
+                        let p = store.stats().unwrap_or_default();
+                        obj(vec![
+                            ("enabled", Json::Bool(true)),
+                            ("wal_bytes", u(p.wal.bytes)),
+                            ("wal_segments", u(p.wal.segments as u64)),
+                            ("wal_records_appended", u(p.wal.records_appended)),
+                            ("wal_segments_collected", u(p.wal.segments_collected)),
+                            ("snapshot_files", u(p.snapshots.files as u64)),
+                            ("snapshot_bytes", u(p.snapshots.bytes)),
+                            ("snapshots_written", u(p.snapshots_written)),
+                            ("snapshot_failures", u(p.snapshot_failures)),
+                            ("op_ticks", u(p.op_ticks)),
+                            ("last_snapshot_age_ticks", u(p.last_snapshot_age_ticks)),
+                            ("entries_recovered", u(reg.recovered_entries)),
+                        ])
+                    }
+                }
+            }),
             (
                 "scratch_pool".into(),
                 obj(vec![
@@ -400,6 +468,7 @@ mod tests {
             },
             started: Instant::now(),
             scratch: Arc::new(ScratchPool::new()),
+            recovery: None,
         }
     }
 

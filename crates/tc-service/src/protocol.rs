@@ -61,13 +61,19 @@ pub enum Op {
     /// Admin: per-dataset streaming state (delta size, compactions,
     /// batch latency quantiles).
     StreamStats,
+    /// Admin: force a durable snapshot of every stream (and report what
+    /// was written). Fails when the server runs without persistence.
+    Snapshot,
+    /// Admin: what recovery did at startup (entries loaded, WAL records
+    /// replayed, torn bytes truncated). Fails without persistence.
+    RecoverStats,
     /// Admin: graceful shutdown (drain in-flight work, then exit).
     Shutdown,
 }
 
 impl Op {
     /// Every op, in a fixed order (indexes the per-op metrics table).
-    pub const ALL: [Op; 13] = [
+    pub const ALL: [Op; 15] = [
         Op::Count,
         Op::Simulate,
         Op::Ktruss,
@@ -80,6 +86,8 @@ impl Op {
         Op::Sleep,
         Op::Update,
         Op::StreamStats,
+        Op::Snapshot,
+        Op::RecoverStats,
         Op::Shutdown,
     ];
 
@@ -98,6 +106,8 @@ impl Op {
             Op::Sleep => "sleep",
             Op::Update => "update",
             Op::StreamStats => "stream-stats",
+            Op::Snapshot => "snapshot",
+            Op::RecoverStats => "recover-stats",
             Op::Shutdown => "shutdown",
         }
     }
@@ -166,6 +176,10 @@ pub enum Request {
     },
     /// Streaming state for one dataset, or for every streamed dataset.
     StreamStats(Option<Dataset>),
+    /// Force a durable snapshot of every stream now.
+    Snapshot,
+    /// Report what recovery did at startup.
+    RecoverStats,
     /// Graceful shutdown.
     Shutdown,
 }
@@ -186,6 +200,8 @@ impl Request {
             Request::Sleep(_) => Op::Sleep,
             Request::Update { .. } => Op::Update,
             Request::StreamStats(_) => Op::StreamStats,
+            Request::Snapshot => Op::Snapshot,
+            Request::RecoverStats => Op::RecoverStats,
             Request::Shutdown => Op::Shutdown,
         }
     }
@@ -477,6 +493,8 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServiceError> {
                 Request::StreamStats(None)
             }
         }
+        Op::Snapshot => Request::Snapshot,
+        Op::RecoverStats => Request::RecoverStats,
         Op::Shutdown => Request::Shutdown,
     };
     Ok(Envelope {

@@ -46,7 +46,28 @@ use tc_core::model::ModelParams;
 use tc_core::{PreprocessResult, Preprocessor};
 use tc_datasets::Dataset;
 use tc_graph::CsrGraph;
+use tc_persist::{PrepKey, Recovered, Store, StreamRecord};
 use tc_stream::{BatchResult, DynamicGraph, EdgeOp, StreamCounters};
+
+/// The persistence key for a cache target (`tc-persist` speaks
+/// [`PrepKey`] so it never depends on the service layer).
+fn prep_key(t: &PrepTarget) -> PrepKey {
+    PrepKey {
+        dataset: t.dataset,
+        direction: t.direction,
+        ordering: t.ordering,
+        bucket_size: t.bucket_size as u32,
+    }
+}
+
+fn prep_target(k: &PrepKey) -> PrepTarget {
+    PrepTarget {
+        dataset: k.dataset,
+        direction: k.direction,
+        ordering: k.ordering,
+        bucket_size: k.bucket_size as usize,
+    }
+}
 
 /// Counters a registry exposes on the `stats` surface.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -70,6 +91,8 @@ pub struct RegistryStats {
     pub streams: usize,
     /// Entries dropped because their dataset was mutated by an `update`.
     pub invalidations: u64,
+    /// Entries installed from snapshots at startup (warm restart).
+    pub recovered_entries: u64,
 }
 
 /// One cached preprocessed variant, described for the `stats` surface:
@@ -119,6 +142,11 @@ struct StreamState {
     /// `None` after any mutation; rebuilt (and cached) on next read.
     materialized: Option<Arc<CsrGraph>>,
     latency: Histogram,
+    /// WAL sequence of the last applied batch (0 = never logged).
+    applied_seq: u64,
+    /// Batches applied since the last stream snapshot was enqueued;
+    /// drives the auto-snapshot cadence.
+    batches_since_snapshot: u64,
 }
 
 /// A cached preprocessed variant plus memoised derived results.
@@ -140,6 +168,21 @@ impl CachedPrep {
             prep,
             count: OnceLock::new(),
         }
+    }
+
+    /// An entry rebuilt from a snapshot, optionally with its triangle
+    /// memo already durable.
+    fn recovered(prep: Arc<PreprocessResult>, count: Option<u64>) -> Self {
+        let cached = Self::new(prep);
+        if let Some(t) = count {
+            let _ = cached.count.set(t);
+        }
+        cached
+    }
+
+    /// The triangle memo, if it has been computed (or recovered).
+    pub fn memoized(&self) -> Option<u64> {
+        self.count.get().copied()
     }
 
     /// The preprocessed variant.
@@ -191,24 +234,89 @@ pub struct GraphRegistry {
     budget: usize,
     params: ModelParams,
     inner: Mutex<Inner>,
+    /// Durable home for entry snapshots and the update WAL; `None`
+    /// keeps the registry purely in-memory (the historical behavior).
+    persist: Option<Arc<Store>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    recovered_entries: AtomicU64,
 }
 
 impl GraphRegistry {
     /// A registry holding at most `byte_budget` bytes of preprocessed
     /// variants, preprocessing with the given calibrated model parameters.
     pub fn new(byte_budget: usize, params: ModelParams) -> Self {
+        Self::with_persistence(byte_budget, params, None)
+    }
+
+    /// A registry backed by a durable [`Store`]: admitted entries are
+    /// snapshotted, updates are WAL-logged before they apply, and
+    /// streams snapshot on the store's cadence.
+    pub fn with_persistence(
+        byte_budget: usize,
+        params: ModelParams,
+        persist: Option<Arc<Store>>,
+    ) -> Self {
         Self {
             budget: byte_budget,
             params,
             inner: Mutex::new(Inner::default()),
+            persist,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            recovered_entries: AtomicU64::new(0),
+        }
+    }
+
+    /// The backing store, if persistence is enabled.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.persist.as_ref()
+    }
+
+    /// Installs state recovered by [`Store::open`] before the service
+    /// starts answering queries: streams first (so entry admission sees
+    /// them), then entry snapshots, charged against the budget exactly
+    /// like live admissions (oversized entries stay on disk but are not
+    /// installed).
+    pub fn install_recovered(&self, recovered: Recovered) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        for rs in recovered.streams {
+            inner.streams.insert(
+                rs.dataset,
+                Arc::new(Mutex::new(StreamState {
+                    graph: rs.graph,
+                    materialized: None,
+                    latency: Histogram::default(),
+                    applied_seq: rs.applied_seq,
+                    batches_since_snapshot: 0,
+                })),
+            );
+        }
+        for record in recovered.entries {
+            let key = prep_target(&record.key);
+            let prep = Arc::new(record.prep);
+            let bytes = prep.approx_bytes();
+            if bytes > self.budget {
+                continue;
+            }
+            self.evict_for(&mut inner, bytes);
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.bytes += bytes;
+            inner.entries.insert(
+                key,
+                Entry {
+                    cached: Arc::new(CachedPrep::recovered(prep, record.triangles)),
+                    bytes,
+                    last_used: tick,
+                    last_used_at: Instant::now(),
+                },
+            );
+            self.recovered_entries.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -331,8 +439,40 @@ impl GraphRegistry {
                     last_used_at: Instant::now(),
                 },
             );
+            // Snapshot the admitted variant so the next restart reads
+            // it instead of recomputing. Streamed datasets are skipped:
+            // their truth is the stream snapshot + WAL, and an entry
+            // variant of a mutating dataset would go stale on disk.
+            if let Some(p) = &self.persist {
+                if !inner.streams.contains_key(&key.dataset) {
+                    p.save_entry(prep_key(&key), Arc::clone(cached.prep()), cached.memoized());
+                }
+            }
         }
         cached
+    }
+
+    /// The entry for `key` plus its exact triangle count, via the
+    /// entry's memo. When the memo is computed for the first time (and
+    /// persistence is on), the entry snapshot is rewritten so the count
+    /// survives restarts too.
+    pub fn count(&self, key: PrepTarget) -> (Arc<CachedPrep>, u64) {
+        let cached = self.entry(key);
+        let had_memo = cached.memoized().is_some();
+        let triangles = cached.triangles();
+        if !had_memo {
+            if let Some(p) = &self.persist {
+                let inner = self.inner.lock().expect("registry lock");
+                let resident = inner
+                    .entries
+                    .get(&key)
+                    .is_some_and(|e| Arc::ptr_eq(&e.cached, &cached));
+                if resident && !inner.streams.contains_key(&key.dataset) {
+                    p.save_entry(prep_key(&key), Arc::clone(cached.prep()), Some(triangles));
+                }
+            }
+        }
+        (cached, triangles)
     }
 
     /// Evicts least-recently-used entries until `incoming` more bytes fit.
@@ -352,18 +492,73 @@ impl GraphRegistry {
     /// the current raw stand-in), then invalidates every derived cache
     /// for the dataset: the raw-graph memo, all preprocessed variants,
     /// and any in-flight preprocessing compute's right to be admitted.
-    pub fn apply_update(&self, dataset: Dataset, ops: &[EdgeOp]) -> BatchResult {
+    ///
+    /// With persistence enabled the batch is WAL-logged (append +
+    /// fsync) *before* it is applied, inside the stream lock — so the
+    /// per-dataset log order equals the apply order, which is what
+    /// makes crash replay bit-for-bit. A WAL failure rejects the batch
+    /// without applying it: durability is never silently degraded.
+    pub fn apply_update(&self, dataset: Dataset, ops: &[EdgeOp]) -> Result<BatchResult, String> {
         let state = self.stream_state(dataset);
         let start = Instant::now();
         let result = {
             let mut st = state.lock().expect("stream lock");
+            let seq = match &self.persist {
+                Some(p) => Some(
+                    p.log_batch(dataset, ops)
+                        .map_err(|e| format!("update not applied, WAL append failed: {e}"))?,
+                ),
+                None => None,
+            };
             let result = st.graph.apply_batch(ops);
+            if let Some(seq) = seq {
+                let p = self.persist.as_ref().expect("seq implies a store");
+                st.applied_seq = seq;
+                st.batches_since_snapshot += 1;
+                if st.batches_since_snapshot >= p.snapshot_every_batches() {
+                    p.save_stream(StreamRecord {
+                        dataset,
+                        last_seq: seq,
+                        snapshot: st.graph.snapshot(),
+                    });
+                    st.batches_since_snapshot = 0;
+                }
+            }
             st.materialized = None;
             st.latency.record(start.elapsed().as_micros() as u64);
             result
         };
         self.invalidate(dataset);
-        result
+        Ok(result)
+    }
+
+    /// Snapshots every stream's current state to the store and blocks
+    /// until all writes land (admin `snapshot` op and graceful drain).
+    /// Returns the number of streams snapshotted.
+    pub fn snapshot_now(&self) -> Result<usize, String> {
+        let Some(p) = &self.persist else {
+            return Err("persistence is not enabled".into());
+        };
+        let streams: Vec<(Dataset, Arc<Mutex<StreamState>>)> = {
+            let inner = self.inner.lock().expect("registry lock");
+            inner
+                .streams
+                .iter()
+                .map(|(d, s)| (*d, Arc::clone(s)))
+                .collect()
+        };
+        let n = streams.len();
+        for (dataset, state) in streams {
+            let mut st = state.lock().expect("stream lock");
+            p.save_stream(StreamRecord {
+                dataset,
+                last_seq: st.applied_seq,
+                snapshot: st.graph.snapshot(),
+            });
+            st.batches_since_snapshot = 0;
+        }
+        p.flush();
+        Ok(n)
     }
 
     /// The streaming state for `dataset`, created on first use.
@@ -388,6 +583,8 @@ impl GraphRegistry {
             graph,
             materialized: Some(base),
             latency: Histogram::default(),
+            applied_seq: 0,
+            batches_since_snapshot: 0,
         }));
         let mut inner = self.inner.lock().expect("registry lock");
         Arc::clone(inner.streams.entry(dataset).or_insert(state))
@@ -414,6 +611,11 @@ impl GraphRegistry {
         // now stale, so the next lookup must start fresh rather than
         // join them (the epoch guard stops them from admitting).
         inner.pending.retain(|k, _| k.dataset != dataset);
+        drop(inner);
+        // The dataset's on-disk entry snapshots are equally stale.
+        if let Some(p) = &self.persist {
+            p.delete_dataset_entries(dataset);
+        }
     }
 
     /// Streaming snapshot for `dataset`, if it has ever been updated.
@@ -484,16 +686,26 @@ impl GraphRegistry {
             .contains_key(key)
     }
 
-    /// Evicts one variant; returns whether it was present.
+    /// Evicts one variant; returns whether it was present. An explicit
+    /// evict also deletes the entry's snapshot — unlike LRU pressure,
+    /// which keeps the file so the next restart can still warm-load it.
     pub fn evict(&self, key: &PrepTarget) -> bool {
-        let mut inner = self.inner.lock().expect("registry lock");
-        match inner.entries.remove(key) {
-            Some(e) => {
-                inner.bytes -= e.bytes;
-                true
+        let removed = {
+            let mut inner = self.inner.lock().expect("registry lock");
+            match inner.entries.remove(key) {
+                Some(e) => {
+                    inner.bytes -= e.bytes;
+                    true
+                }
+                None => false,
             }
-            None => false,
+        };
+        if removed {
+            if let Some(p) = &self.persist {
+                p.delete_entry(prep_key(key));
+            }
         }
+        removed
     }
 
     /// Evicts every variant and every raw stand-in; returns the number of
@@ -501,11 +713,20 @@ impl GraphRegistry {
     /// it holds mutations with no other home — so it survives a clear
     /// (and `graph` keeps reading through it).
     pub fn clear(&self) -> usize {
-        let mut inner = self.inner.lock().expect("registry lock");
-        let n = inner.entries.len();
-        inner.entries.clear();
-        inner.graphs.clear();
-        inner.bytes = 0;
+        let (n, keys) = {
+            let mut inner = self.inner.lock().expect("registry lock");
+            let keys: Vec<PrepTarget> = inner.entries.keys().copied().collect();
+            let n = inner.entries.len();
+            inner.entries.clear();
+            inner.graphs.clear();
+            inner.bytes = 0;
+            (n, keys)
+        };
+        if let Some(p) = &self.persist {
+            for key in keys {
+                p.delete_entry(prep_key(&key));
+            }
+        }
         n
     }
 
@@ -522,6 +743,7 @@ impl GraphRegistry {
             raw_graphs: inner.graphs.len(),
             streams: inner.streams.len(),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            recovered_entries: self.recovered_entries.load(Ordering::Relaxed),
         }
     }
 }
@@ -646,7 +868,9 @@ mod tests {
             .flat_map(|u| ((u + 1)..g.num_vertices() as u32).map(move |v| (u, v)))
             .find(|&(u, v)| !g.has_edge(u, v))
             .expect("graph is not complete");
-        let res = r.apply_update(Dataset::EmailEucore, &[EdgeOp::Insert(u, v)]);
+        let res = r
+            .apply_update(Dataset::EmailEucore, &[EdgeOp::Insert(u, v)])
+            .expect("update");
         assert_eq!(res.inserted, 1);
 
         assert!(!r.contains(&a), "mutation must drop the stale variant");
@@ -676,8 +900,11 @@ mod tests {
         let before = r.entry(a).triangles();
         let g = r.graph(Dataset::EmailEucore);
         let (u, v) = g.edges().next().expect("graph has edges");
-        r.apply_update(Dataset::EmailEucore, &[EdgeOp::Delete(u, v)]);
-        let res = r.apply_update(Dataset::EmailEucore, &[EdgeOp::Insert(u, v)]);
+        r.apply_update(Dataset::EmailEucore, &[EdgeOp::Delete(u, v)])
+            .expect("update");
+        let res = r
+            .apply_update(Dataset::EmailEucore, &[EdgeOp::Insert(u, v)])
+            .expect("update");
         assert_eq!(res.triangles, before);
         assert_eq!(r.entry(a).triangles(), before);
     }
@@ -690,13 +917,74 @@ mod tests {
         r.apply_update(
             Dataset::EmailEucore,
             &[EdgeOp::Insert(0, 0), EdgeOp::Insert(1, 1)],
-        );
+        )
+        .expect("update");
         let info = r.stream_info(Dataset::EmailEucore).expect("stream exists");
         assert_eq!(info.counters.batches, 1);
         assert_eq!(info.counters.rejected, 2);
         assert_eq!(info.delta_edges, 0);
         assert!(info.batch_p50_us > 0 || info.counters.batches > 0);
         assert_eq!(r.stream_infos().len(), 1);
+    }
+
+    #[test]
+    fn persistent_registry_warm_restarts_entries_and_streams() {
+        let dir = std::env::temp_dir().join(format!(
+            "tc-service-registry-persist-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let open = || {
+            let (store, recovered) =
+                tc_persist::Store::open(tc_persist::PersistConfig::new(&dir)).expect("store");
+            (Arc::new(store), recovered)
+        };
+        let a = key(Dataset::EmailEucore, OrderingScheme::AOrder);
+        let streamed = Dataset::Gowalla;
+
+        // First life: cache an entry (memoised count persisted too) and
+        // stream a batch into a different dataset.
+        let (count_before, stream_before) = {
+            let (store, recovered) = open();
+            let r = GraphRegistry::with_persistence(
+                usize::MAX,
+                ModelParams::default_analytic(),
+                Some(Arc::clone(&store)),
+            );
+            r.install_recovered(recovered);
+            let (_, count) = r.count(a);
+            let g = r.graph(streamed);
+            let (u, v) = g.edges().next().expect("has edges");
+            r.apply_update(streamed, &[EdgeOp::Delete(u, v)])
+                .expect("update");
+            r.snapshot_now().expect("snapshot");
+            store.flush();
+            (count, r.stream_info(streamed).expect("stream"))
+        };
+
+        // Second life: the entry and the stream come back from disk —
+        // no recompute (misses stay 0), count memo intact, stream state
+        // identical in every deterministic field.
+        let (store, recovered) = open();
+        let r = GraphRegistry::with_persistence(
+            usize::MAX,
+            ModelParams::default_analytic(),
+            Some(Arc::clone(&store)),
+        );
+        r.install_recovered(recovered);
+        assert!(r.contains(&a), "entry must warm-load");
+        assert_eq!(r.count(a).1, count_before);
+        let s = r.stats();
+        assert_eq!(s.misses, 0, "warm restart must not recompute");
+        assert_eq!(s.recovered_entries, 1);
+        assert_eq!(s.streams, 1);
+        let info = r.stream_info(streamed).expect("stream recovered");
+        assert_eq!(info.triangles, stream_before.triangles);
+        assert_eq!(info.edges, stream_before.edges);
+        assert_eq!(info.counters, stream_before.counters);
+        drop(r);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

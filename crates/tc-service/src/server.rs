@@ -60,6 +60,13 @@ pub struct ServerConfig {
     pub registry_budget: usize,
     /// The GPU model `simulate` queries run on.
     pub gpu: GpuConfig,
+    /// Durable state directory. `None` (the default) runs fully
+    /// in-memory; `Some(dir)` enables entry snapshots, the update WAL,
+    /// and startup recovery from whatever `dir` already holds.
+    pub persist_dir: Option<std::path::PathBuf>,
+    /// Auto-snapshot a stream after this many logged update batches
+    /// (only meaningful with `persist_dir`).
+    pub snapshot_every_batches: u64,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +78,8 @@ impl Default for ServerConfig {
             default_deadline: Duration::from_secs(30),
             registry_budget: 256 << 20,
             gpu: GpuConfig::titan_xp_like(),
+            persist_dir: None,
+            snapshot_every_batches: 32,
         }
     }
 }
@@ -231,7 +240,30 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
 
     let metrics = Arc::new(ServiceMetrics::default());
     let params = calibrated_params(&config.gpu);
-    let registry = Arc::new(GraphRegistry::new(config.registry_budget, params));
+
+    // Recovery happens before the first connection is accepted: by the
+    // time `spawn` returns, the registry already holds every snapshot
+    // entry and every WAL-replayed stream.
+    let (store, recovered) = match &config.persist_dir {
+        Some(dir) => {
+            let mut pcfg = tc_persist::PersistConfig::new(dir);
+            pcfg.snapshot_every_batches = config.snapshot_every_batches;
+            let (store, recovered) = tc_persist::Store::open(pcfg)
+                .map_err(|e| std::io::Error::other(format!("persistence recovery failed: {e}")))?;
+            (Some(Arc::new(store)), Some(recovered))
+        }
+        None => (None, None),
+    };
+    let registry = Arc::new(GraphRegistry::with_persistence(
+        config.registry_budget,
+        params,
+        store,
+    ));
+    let recovery = recovered.map(|r| {
+        let report = r.report.clone();
+        registry.install_recovered(r);
+        report
+    });
     let executor = Arc::new(Executor {
         gpu: config.gpu.clone(),
         registry: Arc::clone(&registry),
@@ -243,6 +275,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         },
         started: Instant::now(),
         scratch: Arc::new(tc_algos::engine::ScratchPool::new()),
+        recovery,
     });
     let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -324,6 +357,12 @@ fn serve(
     queue.close();
     for t in workers {
         let _ = t.join();
+    }
+    // With the workers joined no batch can still be applying, so this
+    // final snapshot captures the exact served state; the next startup
+    // warm-loads it without replaying the (now fully covered) WAL.
+    if executor.registry.store().is_some() {
+        let _ = executor.registry.snapshot_now();
     }
     // Read-side only: blocked readers wake with EOF, while responses the
     // connection threads are still writing go out on the intact write side.

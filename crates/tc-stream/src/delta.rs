@@ -151,6 +151,27 @@ impl DeltaAdjacency {
         }
     }
 
+    /// The `add` overlay as a sorted list of `(u, v)` pairs with `u < v`
+    /// — the canonical serialized form (snapshot files store each
+    /// undirected edge once and re-symmetrize on restore).
+    pub fn add_edge_pairs(&self) -> Vec<(VertexId, VertexId)> {
+        Self::edge_pairs(&self.adds)
+    }
+
+    /// The `del` overlay as a sorted list of `(u, v)` pairs with `u < v`.
+    pub fn del_edge_pairs(&self) -> Vec<(VertexId, VertexId)> {
+        Self::edge_pairs(&self.dels)
+    }
+
+    fn edge_pairs(map: &HashMap<VertexId, Vec<VertexId>>) -> Vec<(VertexId, VertexId)> {
+        let mut pairs: Vec<(VertexId, VertexId)> = map
+            .iter()
+            .flat_map(|(&u, list)| list.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
     /// Drops every overlay entry (after a compaction folded them into a
     /// fresh base).
     pub fn clear(&mut self) {

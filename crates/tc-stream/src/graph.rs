@@ -107,6 +107,32 @@ pub struct BatchResult {
     pub delta_edges: usize,
 }
 
+/// A point-in-time, serializable image of a [`DynamicGraph`]: the base
+/// CSR, the overlay as canonical `u < v` edge pairs, the maintained
+/// count, and the lifetime counters. Restoring it
+/// ([`DynamicGraph::restore`]) reproduces the stream's observable state
+/// exactly — same triangles, same effective edge set, same compaction
+/// distance — which is what makes crash recovery (`tc-persist`: snapshot
+/// + WAL replay) bit-for-bit comparable against an unkilled replica.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamSnapshot {
+    /// The base CSR as of the last compaction.
+    pub base: CsrGraph,
+    /// `add`-overlay edges, sorted, `u < v`.
+    pub adds: Vec<(VertexId, VertexId)>,
+    /// `del`-overlay edges, sorted, `u < v`.
+    pub dels: Vec<(VertexId, VertexId)>,
+    /// Maintained exact triangle count.
+    pub triangles: u64,
+    /// Current undirected edge count.
+    pub num_edges: usize,
+    /// The compaction budget in force (set at construction from the
+    /// *initial* base, so it must travel with the snapshot).
+    pub max_delta_edges: usize,
+    /// Lifetime operation counters.
+    pub counters: StreamCounters,
+}
+
 /// An undirected simple graph under a stream of edge inserts/deletes,
 /// maintaining its exact triangle count incrementally.
 ///
@@ -409,6 +435,77 @@ impl DynamicGraph {
         }
     }
 
+    /// Captures this stream's observable state as a serializable
+    /// [`StreamSnapshot`]. The preprocessor attachment and the scratch
+    /// cache are deliberately excluded: the former is reattached by the
+    /// owner on restore, the latter is a pure cache.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot {
+            base: self.base.clone(),
+            adds: self.delta.add_edge_pairs(),
+            dels: self.delta.del_edge_pairs(),
+            triangles: self.triangles,
+            num_edges: self.num_edges,
+            max_delta_edges: self.policy.max_delta_edges,
+            counters: self.counters,
+        }
+    }
+
+    /// Rebuilds a stream from a [`StreamSnapshot`], validating overlay
+    /// consistency against the base (adds must be absent from it, dels
+    /// present in it, endpoints in range, edge count reconciling).
+    /// The result behaves identically to the snapshotted instance under
+    /// any further batch sequence.
+    pub fn restore(snap: StreamSnapshot) -> Result<Self, String> {
+        let n = snap.base.num_vertices() as u64;
+        let mut delta = DeltaAdjacency::new();
+        for &(u, v) in &snap.adds {
+            if u >= v || v as u64 >= n {
+                return Err(format!(
+                    "snapshot add edge ({u}, {v}) is not canonical in-range"
+                ));
+            }
+            if snap.base.has_edge(u, v) {
+                return Err(format!("snapshot add edge ({u}, {v}) already in base"));
+            }
+            delta.record_insert(u, v, false);
+        }
+        for &(u, v) in &snap.dels {
+            if u >= v || v as u64 >= n {
+                return Err(format!(
+                    "snapshot del edge ({u}, {v}) is not canonical in-range"
+                ));
+            }
+            if !snap.base.has_edge(u, v) {
+                return Err(format!("snapshot del edge ({u}, {v}) not in base"));
+            }
+            delta.record_delete(u, v, true);
+        }
+        let expect_edges = snap.base.num_edges() + snap.adds.len() - snap.dels.len();
+        if expect_edges != snap.num_edges {
+            return Err(format!(
+                "snapshot edge count {} does not reconcile with base {} + adds {} - dels {}",
+                snap.num_edges,
+                snap.base.num_edges(),
+                snap.adds.len(),
+                snap.dels.len()
+            ));
+        }
+        let mut scratch = Scratch::new();
+        scratch.reserve_vertices(snap.base.num_vertices());
+        Ok(Self {
+            base: snap.base,
+            delta,
+            triangles: snap.triangles,
+            num_edges: snap.num_edges,
+            policy: CompactionPolicy::with_budget(snap.max_delta_edges),
+            preprocessor: None,
+            prep: None,
+            counters: snap.counters,
+            scratch,
+        })
+    }
+
     /// Builds the current effective graph as a standalone CSR (the
     /// stream itself is unchanged). The layered rows are already sorted
     /// and sized in `O(1)` (`LayeredNeighbors::len`), so assembly goes
@@ -550,6 +647,62 @@ mod tests {
         assert!(g.force_compact());
         assert_eq!(g.delta_edges(), 0);
         assert_eq!(g.base().num_edges(), 4);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_state_and_behavior() {
+        let mut g = DynamicGraph::new(path4()).policy(CompactionPolicy::with_budget(5));
+        g.apply_batch(&[
+            EdgeOp::Insert(0, 2),
+            EdgeOp::Delete(2, 3),
+            EdgeOp::Insert(1, 1),
+        ]);
+
+        let snap = g.snapshot();
+        assert_eq!(snap.adds, vec![(0, 2)]);
+        assert_eq!(snap.dels, vec![(2, 3)]);
+        assert_eq!(snap.max_delta_edges, 5);
+
+        let mut r = DynamicGraph::restore(snap.clone()).expect("restore");
+        assert_eq!(r.triangles(), g.triangles());
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(r.delta_edges(), g.delta_edges());
+        assert_eq!(r.counters(), g.counters());
+        assert_eq!(r.materialize(), g.materialize());
+        assert_eq!(r.snapshot(), snap, "snapshot of a restore is idempotent");
+
+        // Identical behavior under further batches, including the
+        // compaction trigger point (same budget, same delta distance).
+        let ops = [
+            EdgeOp::Insert(1, 3),
+            EdgeOp::Insert(0, 3),
+            EdgeOp::Delete(0, 1),
+            EdgeOp::Insert(2, 3),
+        ];
+        for chunk in ops.chunks(2) {
+            assert_eq!(g.apply_batch(chunk), r.apply_batch(chunk));
+        }
+        assert_eq!(g.snapshot(), r.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let g = DynamicGraph::new(path4());
+        let mut bad = g.snapshot();
+        bad.adds.push((0, 1)); // already a base edge
+        assert!(DynamicGraph::restore(bad).is_err());
+
+        let mut bad = g.snapshot();
+        bad.dels.push((0, 3)); // not a base edge
+        assert!(DynamicGraph::restore(bad).is_err());
+
+        let mut bad = g.snapshot();
+        bad.num_edges += 1; // fails reconciliation
+        assert!(DynamicGraph::restore(bad).is_err());
+
+        let mut bad = g.snapshot();
+        bad.adds.push((2, 0)); // not canonical u < v
+        assert!(DynamicGraph::restore(bad).is_err());
     }
 
     #[test]

@@ -48,4 +48,6 @@ pub mod delta;
 pub mod graph;
 
 pub use delta::DeltaAdjacency;
-pub use graph::{BatchResult, CompactionPolicy, DynamicGraph, EdgeOp, StreamCounters};
+pub use graph::{
+    BatchResult, CompactionPolicy, DynamicGraph, EdgeOp, StreamCounters, StreamSnapshot,
+};

@@ -1,0 +1,134 @@
+//! Durability demo + smoke test: snapshot → restart → warm-load
+//! round-trip, then a simulated crash replayed through the WAL.
+//!
+//! ```text
+//! cargo run --release --example persist_demo
+//! ```
+//!
+//! `scripts/ci.sh` runs this as the persistence smoke test. Three lives
+//! of one server share a durable directory:
+//!
+//! 1. **Populate** — a `count` caches (and snapshots) a preprocessed
+//!    entry; `update` batches stream WAL-logged mutations; a graceful
+//!    drain snapshots the stream.
+//! 2. **Warm restart** — the new process answers the same `count` with
+//!    zero preprocessing misses and serves the mutated stream state.
+//! 3. **Crash replay** — a batch is WAL-appended but never applied
+//!    (exactly the on-disk state of a process killed mid-batch); the
+//!    next startup replays it and the count moves accordingly.
+
+use gpu_tc::persist::{PersistConfig, Store};
+use gpu_tc::service::client::ServiceClient;
+use gpu_tc::service::json::Json;
+use gpu_tc::service::server::{spawn, ServerConfig, ServerHandle};
+use gpu_tc::stream::EdgeOp;
+
+fn persistent_server(dir: &std::path::Path) -> ServerHandle {
+    spawn(ServerConfig {
+        workers: 2,
+        persist_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    })
+    .expect("bind server")
+}
+
+fn u64_field(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing {key} in {v:?}"))
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("tc-persist-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let count_q = r#"{"op":"count","dataset":"email-Eucore"}"#;
+
+    // Life 1: populate the durable directory.
+    let (cold_triangles, streamed_triangles) = {
+        let server = persistent_server(&dir);
+        let mut c = ServiceClient::connect_with_retry(server.addr(), 10).expect("connect");
+        let cold = u64_field(&c.request_ok(count_q).expect("count"), "triangles");
+        c.request_ok(r#"{"op":"update","dataset":"email-Enron","edges":[[1,2],[3,4],[5,6,"-"]]}"#)
+            .expect("update");
+        let snap = c.request_ok(r#"{"op":"snapshot"}"#).expect("snapshot op");
+        println!(
+            "life 1: count = {cold}, snapshotted {} stream(s)",
+            u64_field(&snap, "streams_snapshotted")
+        );
+        let streamed = u64_field(
+            &c.request_ok(r#"{"op":"stream-stats","dataset":"email-Enron"}"#)
+                .expect("stream-stats"),
+            "triangles",
+        );
+        server.shutdown();
+        (cold, streamed)
+    };
+
+    // Life 2: warm restart — entries and streams come off disk.
+    {
+        let server = persistent_server(&dir);
+        let mut c = ServiceClient::connect_with_retry(server.addr(), 10).expect("connect");
+        let recover = c
+            .request_ok(r#"{"op":"recover-stats"}"#)
+            .expect("recover-stats");
+        let warm = u64_field(&c.request_ok(count_q).expect("warm count"), "triangles");
+        assert_eq!(warm, cold_triangles, "warm count must equal cold count");
+        let stats = c.request_ok(r#"{"op":"stats"}"#).expect("stats");
+        let cache = stats.get("cache").expect("cache");
+        assert_eq!(
+            u64_field(cache, "misses"),
+            0,
+            "warm restart must not recompute preprocessing"
+        );
+        let streamed = u64_field(
+            &c.request_ok(r#"{"op":"stream-stats","dataset":"email-Enron"}"#)
+                .expect("stream-stats"),
+            "triangles",
+        );
+        assert_eq!(streamed, streamed_triangles, "stream state must round-trip");
+        println!(
+            "life 2: warm count = {warm} with 0 misses ({} entr{} recovered, {} stream(s) from snapshot)",
+            u64_field(&recover, "entries_loaded"),
+            if u64_field(&recover, "entries_loaded") == 1 { "y" } else { "ies" },
+            u64_field(&recover, "streams_from_snapshot"),
+        );
+        server.shutdown();
+    }
+
+    // The crash: WAL-append a batch without applying it, as a process
+    // dying between the fsync and the in-memory apply would.
+    {
+        let (store, _recovered) = Store::open(PersistConfig::new(&dir)).expect("open store");
+        store
+            .log_batch(
+                gpu_tc::datasets::Dataset::EmailEnron,
+                &[EdgeOp::Insert(10, 11), EdgeOp::Insert(12, 13)],
+            )
+            .expect("wal append");
+    }
+
+    // Life 3: recovery replays the orphaned batch.
+    let server = persistent_server(&dir);
+    let mut c = ServiceClient::connect_with_retry(server.addr(), 10).expect("connect");
+    let recover = c
+        .request_ok(r#"{"op":"recover-stats"}"#)
+        .expect("recover-stats");
+    assert_eq!(
+        u64_field(&recover, "wal_records_replayed"),
+        1,
+        "the orphaned batch must be replayed"
+    );
+    let ss = c
+        .request_ok(r#"{"op":"stream-stats","dataset":"email-Enron"}"#)
+        .expect("stream-stats");
+    println!(
+        "life 3: replayed {} WAL record(s); stream now at {} edges / {} triangles",
+        u64_field(&recover, "wal_records_replayed"),
+        u64_field(&ss, "edges"),
+        u64_field(&ss, "triangles"),
+    );
+    server.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("persistence round-trip verified: snapshot warm-load + WAL replay");
+}

@@ -27,6 +27,9 @@ cargo test -q -p tc-algos --features simd
 echo "==> service smoke test (ephemeral port, one query per endpoint)"
 cargo run --release -q --example service_demo
 
+echo "==> persistence smoke test (snapshot -> restart -> warm load, WAL replay)"
+cargo run --release -q --example persist_demo
+
 echo "==> stream smoke test (incremental vs recompute, small suite)"
 cargo run --release -q -p tc-bench --bin experiments -- stream-bench --small
 

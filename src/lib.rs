@@ -21,6 +21,9 @@
 //! - [`stream`] — the dynamic-graph subsystem: exact incremental
 //!   triangle maintenance under edge insert/delete streams, with a
 //!   delta-adjacency layer and threshold-triggered compaction.
+//! - [`persist`] — durability: checksummed snapshots of preprocessed
+//!   registry entries and stream state, a write-ahead log for update
+//!   batches, and deterministic replay-to-exact-state recovery.
 //!
 //! ## Quickstart
 //!
@@ -48,5 +51,6 @@ pub use tc_core as core;
 pub use tc_datasets as datasets;
 pub use tc_gpusim as gpusim;
 pub use tc_graph as graph;
+pub use tc_persist as persist;
 pub use tc_service as service;
 pub use tc_stream as stream;
