@@ -1,0 +1,209 @@
+//! Differential suite: incrementally maintained analytics vs fresh
+//! recomputes, under random insert/delete streams.
+//!
+//! The acceptance property of the tc-analytics subsystem (ISSUE 8):
+//! after **every** random batch — inserts, deletes, flip-flops,
+//! rejects, and any compaction schedule including the background
+//! worker — the maintained per-edge supports and per-vertex local
+//! counts must equal a fresh `tc-apps` recompute on the materialised
+//! graph, and the k-truss / clustering read paths fed from the
+//! maintained state must be **bit-identical** to the full recomputes.
+
+use proptest::prelude::*;
+use tc_algos::engine::Scratch;
+use tc_analytics::AnalyticsState;
+use tc_apps::{
+    clustering_coefficients_with, coefficients_from_counts, edge_supports_with,
+    global_clustering_coefficient_with, global_from_counts, ktruss_decomposition_with,
+    ktruss_from_supports, triangles_per_vertex_with,
+};
+use tc_graph::generators::{erdos_renyi, power_law_configuration};
+use tc_graph::CsrGraph;
+use tc_stream::{CompactionPolicy, DynamicGraph, EdgeOp};
+
+/// Strategy shared with the tc-stream differential suite: a base graph
+/// size, a seed, and a stream of raw op batches that intentionally
+/// range past the vertex count to exercise rejection.
+#[allow(clippy::type_complexity)]
+fn arb_stream(
+    max_n: u32,
+    batches: usize,
+    batch_len: usize,
+) -> impl Strategy<Value = (u32, u64, Vec<Vec<(u32, u32, bool)>>)> {
+    (8..max_n, 0u64..1 << 40).prop_flat_map(move |(n, seed)| {
+        let op = (0..n + 2, 0..n + 2, prop_oneof![Just(true), Just(false)]);
+        let batch = prop::collection::vec(op, 1..batch_len);
+        (
+            Just(n),
+            Just(seed),
+            prop::collection::vec(batch, 1..batches),
+        )
+    })
+}
+
+fn to_ops(raw: &[(u32, u32, bool)]) -> Vec<EdgeOp> {
+    raw.iter()
+        .map(|&(u, v, ins)| {
+            if ins {
+                EdgeOp::Insert(u, v)
+            } else {
+                EdgeOp::Delete(u, v)
+            }
+        })
+        .collect()
+}
+
+/// Asserts the maintained state equals a fresh build on `m`, field by
+/// field, and that both read paths are bit-identical to full
+/// recomputes.
+fn assert_state_matches(state: &AnalyticsState, m: &CsrGraph, scratch: &mut Scratch) {
+    // Per-edge supports.
+    let fresh = edge_supports_with(m, scratch);
+    assert_eq!(state.edge_count(), fresh.len(), "edge count diverged");
+    for es in &fresh {
+        assert_eq!(
+            state.support(es.u, es.v),
+            Some(es.support),
+            "support of ({}, {}) diverged",
+            es.u,
+            es.v
+        );
+    }
+    // Per-vertex local counts.
+    let fresh_local = triangles_per_vertex_with(m, scratch);
+    assert_eq!(state.local_counts(), fresh_local.as_slice());
+    assert_eq!(state.triangles(), fresh_local.iter().sum::<u64>() / 3);
+
+    // k-truss from maintained supports == full decomposition.
+    let peel = ktruss_from_supports(m, state.supports_in_edge_order(m));
+    let full = ktruss_decomposition_with(m, scratch);
+    assert_eq!(peel, full, "ktruss read path diverged");
+
+    // Clustering from maintained counts == full recompute, bit for bit.
+    let coeffs = coefficients_from_counts(m, state.local_counts());
+    let full_coeffs = clustering_coefficients_with(m, scratch);
+    assert_eq!(coeffs.len(), full_coeffs.len());
+    for (i, (a, b)) in coeffs.iter().zip(&full_coeffs).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "clustering coefficient of {i} not bit-identical: {a} vs {b}"
+        );
+    }
+    let global = global_from_counts(m, state.local_counts());
+    let full_global = global_clustering_coefficient_with(m, scratch);
+    assert!(global.to_bits() == full_global.to_bits());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Maintained analytics == fresh recomputes after every batch, with
+    /// a tight compaction budget so inline compactions fire mid-stream.
+    #[test]
+    fn maintained_analytics_match_recomputes_after_every_batch(
+        (n, seed, stream) in arb_stream(40, 5, 30),
+    ) {
+        let base = erdos_renyi(n as usize, (n as usize) * 2, seed);
+        let mut scratch = Scratch::new();
+        let mut state = AnalyticsState::build(&base, &mut scratch);
+        let mut g = DynamicGraph::new(base).policy(CompactionPolicy::with_budget(12));
+        for (i, raw) in stream.iter().enumerate() {
+            let (r, changes) = g.apply_batch_recorded(&to_ops(raw));
+            state.apply_changes(&changes);
+            prop_assert_eq!(
+                state.triangles(), r.triangles,
+                "maintained count diverged from stream at batch {}", i
+            );
+            let m = g.materialize();
+            assert_state_matches(&state, &m, &mut scratch);
+        }
+    }
+
+    /// Same property with the background compaction worker attached:
+    /// handoffs, journal replay and installs must be invisible to the
+    /// analytics contract.
+    #[test]
+    fn background_compaction_is_invisible_to_analytics(
+        (n, seed, stream) in arb_stream(32, 5, 40),
+    ) {
+        let base = erdos_renyi(n as usize, (n as usize) * 2, seed);
+        let mut scratch = Scratch::new();
+        let mut state = AnalyticsState::build(&base, &mut scratch);
+        let mut g = DynamicGraph::new(base)
+            .policy(CompactionPolicy::with_budget(8))
+            .background_compaction();
+        for (i, raw) in stream.iter().enumerate() {
+            let (r, changes) = g.apply_batch_recorded(&to_ops(raw));
+            state.apply_changes(&changes);
+            prop_assert_eq!(state.triangles(), r.triangles, "diverged at batch {}", i);
+            if i % 2 == 1 {
+                // Periodically force the install so both the in-flight
+                // and the installed phases get checked.
+                g.wait_compaction();
+            }
+            let m = g.materialize();
+            assert_state_matches(&state, &m, &mut scratch);
+        }
+    }
+
+    /// Skewed power-law bases (the paper's workload shape), checked at
+    /// stream end to afford bigger graphs.
+    #[test]
+    fn skewed_graphs_converge(
+        (n, seed, stream) in arb_stream(150, 4, 100),
+    ) {
+        let base = power_law_configuration(n as usize, 2.2, 6.0, seed);
+        let mut scratch = Scratch::new();
+        let mut state = AnalyticsState::build(&base, &mut scratch);
+        let mut g = DynamicGraph::new(base);
+        for raw in &stream {
+            let (_, changes) = g.apply_batch_recorded(&to_ops(raw));
+            state.apply_changes(&changes);
+        }
+        let m = g.materialize();
+        assert_state_matches(&state, &m, &mut scratch);
+    }
+}
+
+/// Deterministic scripted stream: maintained state survives forced
+/// compaction, and a replica maintained on a different compaction
+/// schedule agrees exactly.
+#[test]
+fn compaction_schedules_do_not_affect_analytics() {
+    let base = power_law_configuration(200, 2.1, 5.0, 0xA11A);
+    let mut scratch = Scratch::new();
+    let mut state_lazy = AnalyticsState::build(&base, &mut scratch);
+    let mut state_eager = state_lazy.clone();
+    let mut lazy =
+        DynamicGraph::new(base.clone()).policy(CompactionPolicy::with_budget(usize::MAX));
+    let mut eager = DynamicGraph::new(base).policy(CompactionPolicy::with_budget(1));
+
+    for b in 0..8u32 {
+        let mut ops = Vec::new();
+        for i in 0..30u32 {
+            let x = (b * 89 + i * 37) % 200;
+            let y = (b * 41 + i * 13 + 1) % 200;
+            ops.push(EdgeOp::Insert(x, y));
+            if i % 4 == 0 {
+                ops.push(EdgeOp::Delete(x, y));
+            }
+        }
+        let (_, cl) = lazy.apply_batch_recorded(&ops);
+        let (_, ce) = eager.apply_batch_recorded(&ops);
+        assert_eq!(cl, ce, "recorded changes diverged at batch {b}");
+        state_lazy.apply_changes(&cl);
+        state_eager.apply_changes(&ce);
+    }
+    assert!(eager.counters().compactions > 0);
+    let m = lazy.materialize();
+    assert_eq!(m, eager.materialize());
+    assert_eq!(
+        state_lazy.supports_in_edge_order(&m),
+        state_eager.supports_in_edge_order(&m)
+    );
+    assert_eq!(state_lazy.local_counts(), state_eager.local_counts());
+
+    let fresh = AnalyticsState::build(&m, &mut scratch);
+    assert_eq!(state_lazy.triangles(), fresh.triangles());
+    assert_eq!(state_lazy.local_counts(), fresh.local_counts());
+}

@@ -7,19 +7,24 @@ use tc_graph::CsrGraph;
 /// Local clustering coefficient of every vertex:
 /// `C(v) = 2·T(v) / (d(v)·(d(v)−1))`, 0 for degree < 2.
 pub fn clustering_coefficients(g: &CsrGraph) -> Vec<f64> {
-    per_vertex_to_coefficients(g, triangles_per_vertex(g))
+    coefficients_from_counts(g, &triangles_per_vertex(g))
 }
 
 /// [`clustering_coefficients`] against a caller-owned scratch.
 pub fn clustering_coefficients_with(g: &CsrGraph, scratch: &mut Scratch) -> Vec<f64> {
-    per_vertex_to_coefficients(g, triangles_per_vertex_with(g, scratch))
+    coefficients_from_counts(g, &triangles_per_vertex_with(g, scratch))
 }
 
-fn per_vertex_to_coefficients(g: &CsrGraph, triangles: Vec<u64>) -> Vec<f64> {
+/// Local coefficients from already-known per-vertex triangle counts
+/// (`triangles[v]` = triangles through `v` in `g`). Pure arithmetic —
+/// identical integer inputs yield bit-identical floats — which is what
+/// lets incrementally maintained counts (`tc-analytics`) serve the same
+/// answers as a fresh recompute.
+pub fn coefficients_from_counts(g: &CsrGraph, triangles: &[u64]) -> Vec<f64> {
     triangles
-        .into_iter()
+        .iter()
         .zip(g.vertices())
-        .map(|(t, v)| {
+        .map(|(&t, v)| {
             let d = g.degree(v) as u64;
             if d < 2 {
                 0.0
@@ -33,15 +38,18 @@ fn per_vertex_to_coefficients(g: &CsrGraph, triangles: Vec<u64>) -> Vec<f64> {
 /// The global clustering coefficient (transitivity):
 /// `3 × triangles / open-or-closed wedges`.
 pub fn global_clustering_coefficient(g: &CsrGraph) -> f64 {
-    global_from_per_vertex(g, &triangles_per_vertex(g))
+    global_from_counts(g, &triangles_per_vertex(g))
 }
 
 /// [`global_clustering_coefficient`] against a caller-owned scratch.
 pub fn global_clustering_coefficient_with(g: &CsrGraph, scratch: &mut Scratch) -> f64 {
-    global_from_per_vertex(g, &triangles_per_vertex_with(g, scratch))
+    global_from_counts(g, &triangles_per_vertex_with(g, scratch))
 }
 
-fn global_from_per_vertex(g: &CsrGraph, per_vertex: &[u64]) -> f64 {
+/// Global coefficient from already-known per-vertex triangle counts.
+/// Same bit-identical-from-counts contract as
+/// [`coefficients_from_counts`].
+pub fn global_from_counts(g: &CsrGraph, per_vertex: &[u64]) -> f64 {
     let triangles: u64 = per_vertex.iter().sum::<u64>() / 3;
     let wedges: u64 = g
         .vertices()

@@ -22,17 +22,33 @@ pub fn ktruss_decomposition_with(
     g: &CsrGraph,
     scratch: &mut Scratch,
 ) -> HashMap<(VertexId, VertexId), u32> {
-    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
-    let m = edges.len();
-    let index_of: HashMap<(VertexId, VertexId), usize> =
-        edges.iter().enumerate().map(|(i, &e)| (e, i)).collect();
-    let edge_key = |a: VertexId, b: VertexId| if a < b { (a, b) } else { (b, a) };
-
-    // Initial supports.
-    let mut support: Vec<u32> = crate::support::edge_supports_with(g, scratch)
+    let support: Vec<u32> = crate::support::edge_supports_with(g, scratch)
         .into_iter()
         .map(|e| e.support)
         .collect();
+    ktruss_from_supports(g, support)
+}
+
+/// The peeling phase alone: decomposes `g` given the initial per-edge
+/// supports in [`CsrGraph::edges`] order (`support[i]` belongs to the
+/// i-th edge). This is the read path for incrementally maintained
+/// supports (`tc-analytics`): the expensive intersection pass is
+/// skipped, and because the peel is deterministic in edge order, the
+/// result is bit-identical to a full [`ktruss_decomposition`] whenever
+/// the supports are.
+///
+/// Supplying supports that do not match `g` yields an arbitrary (but
+/// safe) decomposition.
+pub fn ktruss_from_supports(
+    g: &CsrGraph,
+    mut support: Vec<u32>,
+) -> HashMap<(VertexId, VertexId), u32> {
+    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let m = edges.len();
+    assert_eq!(support.len(), m, "one support per edge of g");
+    let index_of: HashMap<(VertexId, VertexId), usize> =
+        edges.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+    let edge_key = |a: VertexId, b: VertexId| if a < b { (a, b) } else { (b, a) };
 
     // Bucket queue over supports.
     let max_support = support.iter().copied().max().unwrap_or(0) as usize;

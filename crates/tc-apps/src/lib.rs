@@ -17,10 +17,12 @@ pub mod recommend;
 pub mod support;
 
 pub use clustering::{
-    clustering_coefficients, clustering_coefficients_with, global_clustering_coefficient,
-    global_clustering_coefficient_with,
+    clustering_coefficients, clustering_coefficients_with, coefficients_from_counts,
+    global_clustering_coefficient, global_clustering_coefficient_with, global_from_counts,
 };
-pub use ktruss::{ktruss_decomposition, ktruss_decomposition_with, max_truss};
+pub use ktruss::{
+    ktruss_decomposition, ktruss_decomposition_with, ktruss_from_supports, max_truss,
+};
 pub use recommend::{recommend_for, recommend_for_with, RecommendScore};
 pub use support::{
     edge_supports, edge_supports_with, triangles_per_vertex, triangles_per_vertex_with, EdgeSupport,

@@ -179,7 +179,9 @@ impl Cli {
             "stream-bench" => {
                 let reports = stream_bench::run(self.small);
                 println!("{}", stream_bench::render(&reports));
-                let json = stream_bench::to_json(&reports);
+                let analytics = stream_bench::run_analytics(self.small);
+                println!("{}", stream_bench::render_analytics(&analytics));
+                let json = stream_bench::to_json_with_analytics(&reports, &analytics);
                 match std::fs::write("BENCH_stream.json", &json) {
                     Ok(()) => eprintln!("wrote BENCH_stream.json"),
                     Err(e) => {

@@ -23,12 +23,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::time::Instant;
+use tc_analytics::AnalyticsState;
 use tc_datasets::Dataset;
 use tc_graph::GraphBuilder;
 use tc_stream::{DynamicGraph, EdgeOp};
 
 /// Batches timed per (dataset, batch size) configuration.
 const REPS: usize = 6;
+
+/// Batches timed per dataset in the analytics read-latency pass. Each
+/// rep pays two full recomputes (supports + per-vertex counts), so this
+/// stays smaller than [`REPS`].
+const ANALYTICS_REPS: usize = 3;
 
 /// One (dataset, batch size) measurement.
 #[derive(Clone, Copy, Debug)]
@@ -67,6 +73,64 @@ pub struct StreamBenchReport {
     pub triangles_end: u64,
     /// One row per batch size.
     pub rows: Vec<StreamBenchRow>,
+}
+
+/// One dataset's analytics read-latency measurement at 1%-of-`|E|`
+/// batches: after every applied batch, `ktruss` and `clustering` are
+/// answered twice — from the incrementally maintained
+/// [`AnalyticsState`] (supports / per-vertex counts already known) and
+/// by a full recompute on the same materialised graph — with the
+/// results bit-compared.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyticsReadRow {
+    /// Operations per batch (1% of the starting `|E|`).
+    pub batch_size: usize,
+    /// Batches timed.
+    pub batches: usize,
+    /// Mean time to maintain the analytics state per batch (µs):
+    /// recorded apply + change replay.
+    pub maintain_mean_us: f64,
+    /// Mean k-truss read from maintained supports (µs): edge-order
+    /// layout + peel, no intersection pass.
+    pub ktruss_inc_mean_us: f64,
+    /// Mean full k-truss recompute (µs): support pass + peel.
+    pub ktruss_full_mean_us: f64,
+    /// Mean global-clustering read from maintained counts (µs).
+    pub clustering_inc_mean_us: f64,
+    /// Mean full global-clustering recompute (µs): per-vertex counting
+    /// pass + fold.
+    pub clustering_full_mean_us: f64,
+}
+
+impl AnalyticsReadRow {
+    /// Full-recompute / incremental k-truss read-latency ratio.
+    pub fn ktruss_speedup(&self) -> f64 {
+        if self.ktruss_inc_mean_us > 0.0 {
+            self.ktruss_full_mean_us / self.ktruss_inc_mean_us
+        } else {
+            0.0
+        }
+    }
+
+    /// Full-recompute / incremental clustering read-latency ratio.
+    pub fn clustering_speedup(&self) -> f64 {
+        if self.clustering_inc_mean_us > 0.0 {
+            self.clustering_full_mean_us / self.clustering_inc_mean_us
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The analytics pass for one dataset.
+#[derive(Clone, Debug)]
+pub struct AnalyticsReadReport {
+    /// Dataset wire name.
+    pub dataset: String,
+    /// Edges in the starting graph.
+    pub edges: usize,
+    /// The single 1%-of-`|E|` row.
+    pub row: AnalyticsReadRow,
 }
 
 /// The benchmarked datasets. Both run batch sizes up to 1% of `|E|`, so
@@ -182,6 +246,95 @@ pub fn run(small: bool) -> Vec<StreamBenchReport> {
     suite.into_iter().map(run_dataset).collect()
 }
 
+/// Runs one dataset through the analytics read-latency pass at the
+/// 1%-of-`|E|` batch size.
+fn run_analytics_dataset(dataset: Dataset) -> AnalyticsReadReport {
+    let base = tc_datasets::load(dataset);
+    let batch_size = (base.num_edges() / 100).max(1);
+    let n = base.num_vertices() as u32;
+    let mut edges: Vec<(u32, u32)> = base.edges().collect();
+    let mut present: HashSet<(u32, u32)> = edges.iter().copied().collect();
+    let mut rng = StdRng::seed_from_u64(0xA11C ^ dataset.name().len() as u64);
+    let mut scratch = tc_algos::engine::Scratch::new();
+
+    let mut g = DynamicGraph::new(base.clone());
+    // Cold build is the cost the incremental path pays once, outside
+    // the per-batch read loop.
+    let mut st = AnalyticsState::build(&base, &mut scratch);
+
+    let mut maintain_us = 0u64;
+    let mut kt_inc_us = 0u64;
+    let mut kt_full_us = 0u64;
+    let mut cc_inc_us = 0u64;
+    let mut cc_full_us = 0u64;
+    for _ in 0..ANALYTICS_REPS {
+        let ops = draw_batch(&mut rng, n, &mut edges, &mut present, batch_size);
+
+        let t = Instant::now();
+        let (_, changes) = g.apply_batch_recorded(&ops);
+        st.apply_changes(&changes);
+        maintain_us += t.elapsed().as_micros() as u64;
+
+        // Both read paths answer on the same materialised graph; the
+        // materialisation itself is shared, untimed substrate.
+        let m = g.materialize();
+
+        let t = Instant::now();
+        let kt_inc = tc_apps::ktruss_from_supports(&m, st.supports_in_edge_order(&m));
+        kt_inc_us += t.elapsed().as_micros() as u64;
+
+        let t = Instant::now();
+        let cc_inc = tc_apps::global_from_counts(&m, st.local_counts());
+        cc_inc_us += t.elapsed().as_micros() as u64;
+
+        let t = Instant::now();
+        let kt_full = tc_apps::ktruss_decomposition_with(&m, &mut scratch);
+        kt_full_us += t.elapsed().as_micros() as u64;
+
+        let t = Instant::now();
+        let cc_full = tc_apps::global_clustering_coefficient_with(&m, &mut scratch);
+        cc_full_us += t.elapsed().as_micros() as u64;
+
+        assert_eq!(
+            kt_inc,
+            kt_full,
+            "incremental and recomputed k-truss diverged on {}",
+            dataset.name()
+        );
+        assert_eq!(
+            cc_inc.to_bits(),
+            cc_full.to_bits(),
+            "incremental and recomputed clustering diverged on {}",
+            dataset.name()
+        );
+    }
+
+    let mean = |total: u64| total as f64 / ANALYTICS_REPS as f64;
+    AnalyticsReadReport {
+        dataset: dataset.name().to_string(),
+        edges: base.num_edges(),
+        row: AnalyticsReadRow {
+            batch_size,
+            batches: ANALYTICS_REPS,
+            maintain_mean_us: mean(maintain_us),
+            ktruss_inc_mean_us: mean(kt_inc_us),
+            ktruss_full_mean_us: mean(kt_full_us),
+            clustering_inc_mean_us: mean(cc_inc_us),
+            clustering_full_mean_us: mean(cc_full_us),
+        },
+    }
+}
+
+/// Runs the analytics read-latency pass. `small` trims to EmailEucore.
+pub fn run_analytics(small: bool) -> Vec<AnalyticsReadReport> {
+    let suite = if small {
+        vec![Dataset::EmailEucore]
+    } else {
+        default_suite()
+    };
+    suite.into_iter().map(run_analytics_dataset).collect()
+}
+
 /// Renders the comparison as a text table.
 pub fn render(reports: &[StreamBenchReport]) -> String {
     let mut t = Table::new([
@@ -208,6 +361,79 @@ pub fn render(reports: &[StreamBenchReport]) -> String {
         "Streaming updates: incremental maintenance vs full recompute (mean of {REPS} batches)\n{}",
         t.render()
     )
+}
+
+/// Renders the analytics read-latency pass as a text table.
+pub fn render_analytics(reports: &[AnalyticsReadReport]) -> String {
+    let mut t = Table::new([
+        "dataset",
+        "|E|",
+        "batch",
+        "maintain µs",
+        "ktruss inc µs",
+        "ktruss full µs",
+        "ktruss speedup",
+        "clustering inc µs",
+        "clustering full µs",
+        "clustering speedup",
+    ]);
+    for report in reports {
+        let row = &report.row;
+        t.row([
+            report.dataset.clone(),
+            report.edges.to_string(),
+            row.batch_size.to_string(),
+            format!("{:.1}", row.maintain_mean_us),
+            format!("{:.1}", row.ktruss_inc_mean_us),
+            format!("{:.1}", row.ktruss_full_mean_us),
+            format!("{:.1}x", row.ktruss_speedup()),
+            format!("{:.1}", row.clustering_inc_mean_us),
+            format!("{:.1}", row.clustering_full_mean_us),
+            format!("{:.1}x", row.clustering_speedup()),
+        ]);
+    }
+    format!(
+        "Analytics reads after 1%-of-|E| batches: maintained state vs full recompute \
+         (mean of {ANALYTICS_REPS} batches, results bit-compared)\n{}",
+        t.render()
+    )
+}
+
+/// Machine-readable form including the analytics read-latency pass:
+/// [`to_json`] with an `"analytics"` array appended.
+pub fn to_json_with_analytics(
+    reports: &[StreamBenchReport],
+    analytics: &[AnalyticsReadReport],
+) -> String {
+    let mut out = to_json(reports);
+    let closing = "  ]\n}\n";
+    debug_assert!(out.ends_with(closing));
+    out.truncate(out.len() - closing.len());
+    out.push_str("  ],\n  \"analytics\": [\n");
+    for (i, r) in analytics.iter().enumerate() {
+        let row = &r.row;
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"edges\": {}, \"batch_size\": {}, \"batches\": {}, \
+             \"maintain_mean_us\": {:.2}, \"ktruss_inc_mean_us\": {:.2}, \
+             \"ktruss_full_mean_us\": {:.2}, \"ktruss_speedup\": {:.3}, \
+             \"clustering_inc_mean_us\": {:.2}, \"clustering_full_mean_us\": {:.2}, \
+             \"clustering_speedup\": {:.3}}}{}\n",
+            r.dataset,
+            r.edges,
+            row.batch_size,
+            row.batches,
+            row.maintain_mean_us,
+            row.ktruss_inc_mean_us,
+            row.ktruss_full_mean_us,
+            row.ktruss_speedup(),
+            row.clustering_inc_mean_us,
+            row.clustering_full_mean_us,
+            row.clustering_speedup(),
+            if i + 1 < analytics.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Machine-readable form (hand-rolled JSON; the workspace has no serde).
@@ -281,6 +507,51 @@ mod tests {
         assert!(json.contains("\"speedup\": 25.000"));
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"batch_size\"").count(), 1);
+    }
+
+    #[test]
+    fn analytics_json_appends_the_analytics_array() {
+        let reports = vec![StreamBenchReport {
+            dataset: "email-Enron".into(),
+            edges: 77_954,
+            triangles_start: 1,
+            triangles_end: 2,
+            rows: vec![row(10.0, 250.0)],
+        }];
+        let analytics = vec![AnalyticsReadReport {
+            dataset: "email-Enron".into(),
+            edges: 77_954,
+            row: AnalyticsReadRow {
+                batch_size: 779,
+                batches: ANALYTICS_REPS,
+                maintain_mean_us: 100.0,
+                ktruss_inc_mean_us: 50.0,
+                ktruss_full_mean_us: 200.0,
+                clustering_inc_mean_us: 2.0,
+                clustering_full_mean_us: 80.0,
+            },
+        }];
+        assert_eq!(analytics[0].row.ktruss_speedup(), 4.0);
+        assert_eq!(analytics[0].row.clustering_speedup(), 40.0);
+        let json = to_json_with_analytics(&reports, &analytics);
+        assert!(json.contains("\"analytics\": ["));
+        assert!(json.contains("\"clustering_speedup\": 40.000"));
+        assert!(json.trim_end().ends_with('}'));
+        // The plain report is still embedded unchanged.
+        assert!(json.contains("\"speedup\": 25.000"));
+    }
+
+    #[test]
+    fn analytics_pass_reads_match_recomputes_on_a_small_graph() {
+        let reports = run_analytics(true);
+        assert_eq!(reports.len(), 1);
+        let row = &reports[0].row;
+        assert_eq!(row.batches, ANALYTICS_REPS);
+        assert!(row.batch_size >= 1);
+        // The run itself bit-compares results; here we only sanity-check
+        // that every timed region actually ran.
+        assert!(row.ktruss_full_mean_us > 0.0);
+        assert!(row.clustering_full_mean_us > 0.0);
     }
 
     #[test]

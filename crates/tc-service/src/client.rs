@@ -4,15 +4,39 @@
 //! e2e tests, the `serve-bench` load generator, and the
 //! `service_demo` example; also a reference implementation for clients
 //! in other languages (the protocol is just lines of JSON).
+//!
+//! # Push notifications
+//!
+//! A connection with live subscriptions receives `{"push":...}` frames
+//! interleaved between response lines. Every read path here classifies
+//! each incoming line: push frames are buffered aside (never returned
+//! from [`ServiceClient::request`]/[`ServiceClient::pipeline`]), and
+//! [`ServiceClient::next_notification`] /
+//! [`ServiceClient::try_next_notification`] drain that buffer before
+//! blocking on the socket.
 
 use crate::json::{self, Json};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Whether a response line is a push-notification frame. The server
+/// guarantees `"push"` is the first member of every frame and never the
+/// first member of a response, so a prefix check suffices — no parse.
+fn is_push_frame(line: &str) -> bool {
+    line.starts_with(r#"{"push":"#)
+}
 
 /// A connected client.
 pub struct ServiceClient {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Push frames that arrived while reading responses, oldest first.
+    pushes: VecDeque<String>,
+    /// Partial line carried across a read timeout in
+    /// [`try_next_notification`](Self::try_next_notification).
+    partial: String,
 }
 
 impl ServiceClient {
@@ -21,7 +45,35 @@ impl ServiceClient {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Self { writer, reader })
+        Ok(Self {
+            writer,
+            reader,
+            pushes: VecDeque::new(),
+            partial: String::new(),
+        })
+    }
+
+    /// Reads the next non-push line from the socket, buffering any push
+    /// frames encountered on the way.
+    fn read_response_line(&mut self) -> std::io::Result<String> {
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            while line.ends_with('\n') || line.ends_with('\r') {
+                line.pop();
+            }
+            if is_push_frame(&line) {
+                self.pushes.push_back(line);
+                continue;
+            }
+            return Ok(line);
+        }
     }
 
     /// Connects with bounded retry: connection-refused/reset failures
@@ -58,18 +110,7 @@ impl ServiceClient {
     pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        while response.ends_with('\n') || response.ends_with('\r') {
-            response.pop();
-        }
-        Ok(response)
+        self.read_response_line()
     }
 
     /// Sends one request and parses the response JSON.
@@ -96,18 +137,7 @@ impl ServiceClient {
         self.writer.write_all(batch.as_bytes())?;
         let mut responses = Vec::with_capacity(lines.len());
         for _ in lines {
-            let mut response = String::new();
-            let n = self.reader.read_line(&mut response)?;
-            if n == 0 {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection mid-pipeline",
-                ));
-            }
-            while response.ends_with('\n') || response.ends_with('\r') {
-                response.pop();
-            }
-            responses.push(response);
+            responses.push(self.read_response_line()?);
         }
         Ok(responses)
     }
@@ -127,5 +157,106 @@ impl ServiceClient {
             let message = v.get("message").and_then(Json::as_str).unwrap_or("");
             Err(std::io::Error::other(format!("{code}: {message}")))
         }
+    }
+
+    /// Blocks until the next push-notification frame and returns it
+    /// parsed. Frames buffered while reading responses are drained
+    /// first. A non-push line arriving here (a response nobody asked
+    /// for) is a protocol violation and errors with `InvalidData`.
+    pub fn next_notification(&mut self) -> std::io::Result<Json> {
+        let line = match self.pushes.pop_front() {
+            Some(line) => line,
+            None => {
+                let mut line = String::new();
+                let n = self.reader.read_line(&mut line)?;
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ));
+                }
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                if !is_push_frame(&line) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("expected a push frame, got a response line: {line}"),
+                    ));
+                }
+                line
+            }
+        };
+        json::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable push frame: {e}"),
+            )
+        })
+    }
+
+    /// Like [`next_notification`](Self::next_notification) but gives up
+    /// after `wait`, returning `Ok(None)` — the way a test asserts
+    /// *silence* (e.g. after an unsubscribe). A line split by the
+    /// timeout is carried over and completed on the next call, so
+    /// polling never tears frames.
+    pub fn try_next_notification(&mut self, wait: Duration) -> std::io::Result<Option<Json>> {
+        if let Some(line) = self.pushes.pop_front() {
+            return json::parse(&line)
+                .map(Some)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+        }
+        self.writer.set_read_timeout(Some(wait))?;
+        let result = loop {
+            let mut chunk = String::new();
+            let read = self.reader.read_line(&mut chunk);
+            // read_line appends what it read even on error, so a line
+            // split by the timeout survives in `partial` for next time.
+            self.partial.push_str(&chunk);
+            match read {
+                Ok(0) => {
+                    break Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(_) => {
+                    if !self.partial.ends_with('\n') {
+                        // Timeout split the line; keep accumulating.
+                        continue;
+                    }
+                    let mut line = std::mem::take(&mut self.partial);
+                    while line.ends_with('\n') || line.ends_with('\r') {
+                        line.pop();
+                    }
+                    if !is_push_frame(&line) {
+                        break Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("expected a push frame, got a response line: {line}"),
+                        ));
+                    }
+                    break json::parse(&line)
+                        .map(Some)
+                        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break Ok(None)
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        self.writer.set_read_timeout(None)?;
+        result
+    }
+
+    /// A blocking iterator over push notifications; ends on a transport
+    /// error (e.g. the server closed the connection).
+    pub fn notifications(&mut self) -> impl Iterator<Item = Json> + '_ {
+        std::iter::from_fn(move || self.next_notification().ok())
     }
 }

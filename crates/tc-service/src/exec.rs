@@ -8,8 +8,10 @@
 
 use crate::json::{obj, s, u, Json};
 use crate::metrics::ServiceMetrics;
-use crate::protocol::{ErrorKind, Op, PrepTarget, Request, ServiceError};
+use crate::protocol::{notification_frame, ErrorKind, Op, PrepTarget, Request, ServiceError};
 use crate::registry::GraphRegistry;
+use crate::server::ConnContext;
+use crate::subs::SubscriptionRegistry;
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -19,6 +21,7 @@ use tc_algos::{
     bisson::Bisson, fox::Fox, gunrock::Gunrock, hu::HuFineGrained, polak::Polak, tricore::TriCore,
     GpuTriangleCounter, RunResult,
 };
+use tc_analytics::{Observed, Predicate};
 use tc_gpusim::GpuConfig;
 
 /// Response payload: ordered members appended after `id`/`ok`/`op`.
@@ -55,6 +58,8 @@ pub struct Executor {
     /// What startup recovery did, when persistence is enabled — the
     /// `recover-stats` admin op reports it verbatim.
     pub recovery: Option<tc_persist::RecoveryReport>,
+    /// Live push subscriptions, shared with every connection thread.
+    pub subs: Arc<SubscriptionRegistry>,
 }
 
 /// The kernel names `simulate` accepts.
@@ -106,10 +111,44 @@ fn stream_members(info: &crate::registry::StreamInfo) -> Payload {
     ]
 }
 
+fn analytics_members(info: &crate::registry::AnalyticsInfo, subscriptions: usize) -> Payload {
+    vec![
+        ("dataset".into(), s(info.dataset.name())),
+        ("tracked_edges".into(), u(info.tracked_edges as u64)),
+        ("triangles".into(), u(info.triangles)),
+        ("changes_applied".into(), u(info.changes_applied)),
+        ("batches_applied".into(), u(info.batches_applied)),
+        ("approx_bytes".into(), u(info.approx_bytes as u64)),
+        ("subscriptions".into(), u(subscriptions as u64)),
+    ]
+}
+
+/// The `"current"` member a `subscribe` response seeds the client with.
+fn observed_json(o: Observed) -> Json {
+    match o {
+        Observed::Support(None) => Json::Null,
+        Observed::Support(Some(sup)) => u(u64::from(sup)),
+        Observed::Clustering(c) => Json::Float(c),
+        Observed::Count(n) => u(n),
+    }
+}
+
 impl Executor {
     /// Executes one request, returning the success payload or a
-    /// structured error.
+    /// structured error. Connection-scoped ops (`subscribe`,
+    /// `unsubscribe`) fail through this entry point — use
+    /// [`execute_conn`](Self::execute_conn) with a connection context.
     pub fn execute(&self, request: &Request) -> Result<Payload, ServiceError> {
+        self.execute_conn(request, None)
+    }
+
+    /// [`execute`](Self::execute) with the submitting connection
+    /// attached, which `subscribe` needs to bind the push channel.
+    pub(crate) fn execute_conn(
+        &self,
+        request: &Request,
+        ctx: Option<&ConnContext>,
+    ) -> Result<Payload, ServiceError> {
         match request {
             Request::Ping => Ok(vec![("pong".into(), Json::Bool(true))]),
             Request::Sleep(ms) => {
@@ -158,9 +197,23 @@ impl Executor {
                 Ok(payload)
             }
             Request::Ktruss(dataset) => {
-                let g = self.registry.graph(*dataset);
-                let mut scratch = self.scratch.checkout_for(g.num_vertices());
-                let trussness = tc_apps::ktruss_decomposition_with(&g, &mut scratch);
+                // Streamed datasets read from the maintained analytics
+                // state: the support pass (the dominant cost) is already
+                // incremental, leaving only the deterministic peel. The
+                // differential suite pins this bit-identical to the full
+                // decomposition below.
+                let trussness = if self.registry.has_stream(*dataset) {
+                    self.registry.ensure_analytics(*dataset);
+                    let (g, supports) = self
+                        .registry
+                        .analytics_supports(*dataset)
+                        .expect("analytics ensured above");
+                    tc_apps::ktruss_from_supports(&g, supports)
+                } else {
+                    let g = self.registry.graph(*dataset);
+                    let mut scratch = self.scratch.checkout_for(g.num_vertices());
+                    tc_apps::ktruss_decomposition_with(&g, &mut scratch)
+                };
                 // Deterministic summary: edges per truss level, ascending.
                 let mut levels: BTreeMap<u32, u64> = BTreeMap::new();
                 for &k in trussness.values() {
@@ -178,15 +231,31 @@ impl Executor {
                 ])
             }
             Request::Clustering(dataset) => {
-                let g = self.registry.graph(*dataset);
-                let mut scratch = self.scratch.checkout_for(g.num_vertices());
-                let local = tc_apps::clustering_coefficients_with(&g, &mut scratch);
+                // Streamed datasets: pure arithmetic over the maintained
+                // per-vertex counts — no intersections at all. Pinned
+                // bit-identical to the full recompute by the
+                // differential suite.
+                let (g, local, global) = if self.registry.has_stream(*dataset) {
+                    self.registry.ensure_analytics(*dataset);
+                    let (g, counts) = self
+                        .registry
+                        .analytics_local_counts(*dataset)
+                        .expect("analytics ensured above");
+                    let local = tc_apps::coefficients_from_counts(&g, &counts);
+                    let global = tc_apps::global_from_counts(&g, &counts);
+                    (g, local, global)
+                } else {
+                    let g = self.registry.graph(*dataset);
+                    let mut scratch = self.scratch.checkout_for(g.num_vertices());
+                    let local = tc_apps::clustering_coefficients_with(&g, &mut scratch);
+                    let global = tc_apps::global_clustering_coefficient_with(&g, &mut scratch);
+                    (g, local, global)
+                };
                 let mean_local = if local.is_empty() {
                     0.0
                 } else {
                     local.iter().sum::<f64>() / local.len() as f64
                 };
-                let global = tc_apps::global_clustering_coefficient_with(&g, &mut scratch);
                 Ok(vec![
                     ("dataset".into(), s(dataset.name())),
                     ("nodes".into(), u(g.num_vertices() as u64)),
@@ -242,10 +311,20 @@ impl Executor {
                 Ok(vec![("evicted".into(), u(evicted as u64))])
             }
             Request::Update { dataset, ops } => {
-                let r = self
+                // Evaluate the dataset's watchers around the apply (under
+                // the stream lock — exact, race-free), then push one
+                // frame per tripped subscription onto its connection.
+                let watchers = self.subs.watchers(*dataset);
+                let (r, fired) = self
                     .registry
-                    .apply_update(*dataset, ops)
+                    .apply_update_watched(*dataset, ops, &watchers)
                     .map_err(|e| ServiceError::new(ErrorKind::Failed, e))?;
+                let mut notified = 0u64;
+                for (sub, n) in &fired {
+                    if self.subs.push(*sub, notification_frame(*sub, *dataset, n)) {
+                        notified += 1;
+                    }
+                }
                 Ok(vec![
                     ("dataset".into(), s(dataset.name())),
                     ("inserted".into(), u(r.inserted as u64)),
@@ -257,6 +336,7 @@ impl Executor {
                     ("triangles".into(), u(r.triangles)),
                     ("delta_edges".into(), u(r.delta_edges as u64)),
                     ("compacted".into(), Json::Bool(r.compacted)),
+                    ("notified".into(), u(notified)),
                 ])
             }
             Request::StreamStats(Some(dataset)) => {
@@ -315,6 +395,83 @@ impl Executor {
                     (
                         "corrupt_files".into(),
                         Json::Arr(r.corrupt_files.iter().map(|f| s(f.clone())).collect()),
+                    ),
+                ])
+            }
+            Request::Subscribe { dataset, predicate } => {
+                let Some(ctx) = ctx else {
+                    return Err(ServiceError::new(
+                        ErrorKind::Failed,
+                        "subscribe requires a client connection to push to",
+                    ));
+                };
+                // Validate watched vertices against the dataset now, so
+                // a typo'd subscription fails loudly instead of sitting
+                // silent forever.
+                let g = self.registry.graph(*dataset);
+                let n = g.num_vertices() as u32;
+                let watched_max = match predicate {
+                    Predicate::SupportBelow { u, v, .. } => Some((*u).max(*v)),
+                    Predicate::ClusteringDelta { vertex, .. } => Some(*vertex),
+                    Predicate::CountCross { .. } => None,
+                };
+                if let Some(vertex) = watched_max.filter(|&vertex| vertex >= n) {
+                    return Err(ServiceError::new(
+                        ErrorKind::Failed,
+                        format!("vertex {vertex} out of range (dataset has {n} vertices)"),
+                    ));
+                }
+                // Subscriptions ride the delta layer: materialise the
+                // stream (if this dataset was never mutated) and its
+                // analytics state so the first watched batch has a
+                // before-value to evaluate against.
+                self.registry.ensure_stream(*dataset);
+                self.registry.ensure_analytics(*dataset);
+                let current = self
+                    .registry
+                    .observe_predicate(*dataset, predicate)
+                    .expect("analytics ensured above");
+                let sub = self.subs.subscribe(ctx, *dataset, *predicate);
+                Ok(vec![
+                    ("dataset".into(), s(dataset.name())),
+                    ("sub".into(), u(sub)),
+                    ("current".into(), observed_json(current)),
+                ])
+            }
+            Request::Unsubscribe { sub } => {
+                let removed = self.subs.unsubscribe(*sub, ctx.map(|c| c.conn_id));
+                Ok(vec![
+                    ("sub".into(), u(*sub)),
+                    ("removed".into(), Json::Bool(removed)),
+                ])
+            }
+            Request::AnalyticsStats(Some(dataset)) => {
+                let info = self.registry.analytics_info(*dataset).ok_or_else(|| {
+                    ServiceError::new(
+                        ErrorKind::Failed,
+                        format!(
+                            "dataset \"{}\" has no analytics state; subscribe or query it first",
+                            dataset.name()
+                        ),
+                    )
+                })?;
+                Ok(analytics_members(&info, self.subs.active_for(*dataset)))
+            }
+            Request::AnalyticsStats(None) => {
+                let rows: Vec<Json> = self
+                    .registry
+                    .analytics_infos()
+                    .iter()
+                    .map(|info| {
+                        Json::Obj(analytics_members(info, self.subs.active_for(info.dataset)))
+                    })
+                    .collect();
+                Ok(vec![
+                    ("datasets".into(), Json::Arr(rows)),
+                    ("subscriptions".into(), u(self.subs.active() as u64)),
+                    (
+                        "notifications_sent".into(),
+                        u(self.subs.notifications_sent()),
                     ),
                 ])
             }
@@ -393,6 +550,20 @@ impl Executor {
                     ("recovered_entries", u(reg.recovered_entries)),
                 ]),
             ),
+            (
+                "analytics".into(),
+                obj(vec![
+                    ("states", u(reg.analytics_states as u64)),
+                    ("builds", u(reg.analytics_builds)),
+                    ("batches", u(reg.analytics_batches)),
+                    ("reads", u(reg.analytics_reads)),
+                    ("subscriptions", u(self.subs.active() as u64)),
+                    ("subscribes", u(self.subs.subscribes())),
+                    ("unsubscribes", u(self.subs.unsubscribes())),
+                    ("notifications_sent", u(self.subs.notifications_sent())),
+                    ("dropped_dead", u(self.subs.dropped_dead())),
+                ]),
+            ),
             ("persistence".into(), {
                 match self.registry.store() {
                     None => obj(vec![("enabled", Json::Bool(false))]),
@@ -469,6 +640,7 @@ mod tests {
             started: Instant::now(),
             scratch: Arc::new(ScratchPool::new()),
             recovery: None,
+            subs: Arc::new(SubscriptionRegistry::new()),
         }
     }
 

@@ -15,10 +15,18 @@
 //!   job queue with admission control (overload ⇒ structured error,
 //!   never unbounded latency) + worker pool + graceful drain.
 //! - [`protocol`] — the wire format: query ops `count`, `simulate`,
-//!   `ktruss`, `clustering`, `recommend`; mutation op `update`; admin
-//!   ops `load`, `evict`, `stats`, `stream-stats`, `ping`, `sleep`,
-//!   `shutdown`.
-//! - [`exec`] — query execution against the shared state.
+//!   `ktruss`, `clustering`, `recommend`; mutation op `update`;
+//!   subscription ops `subscribe`, `unsubscribe`; admin ops `load`,
+//!   `evict`, `stats`, `stream-stats`, `analytics-stats`, `ping`,
+//!   `sleep`, `shutdown` — plus the push-notification frame format.
+//! - [`exec`] — query execution against the shared state. For streamed
+//!   datasets, `ktruss` and `clustering` read from the incrementally
+//!   maintained `tc-analytics` state (bit-identical to a full
+//!   recompute, at a fraction of the cost).
+//! - [`subs`] — live push subscriptions: predicates from `tc-analytics`
+//!   bound to connections, evaluated exactly around every applied
+//!   batch, delivered as `{"push":...}` frames on the subscriber's
+//!   connection.
 //! - [`metrics`] — per-endpoint counters and latency histograms.
 //! - [`client`] — a minimal blocking client.
 //! - [`json`] — the in-tree JSON model (the workspace builds offline;
@@ -55,8 +63,10 @@ pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod subs;
 
 pub use client::ServiceClient;
 pub use protocol::{Op, PrepTarget, Request};
-pub use registry::{EntryDetail, GraphRegistry, RegistryStats, StreamInfo};
+pub use registry::{AnalyticsInfo, EntryDetail, GraphRegistry, RegistryStats, StreamInfo};
 pub use server::{spawn, ServerConfig, ServerHandle};
+pub use subs::SubscriptionRegistry;

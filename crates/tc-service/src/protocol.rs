@@ -20,6 +20,7 @@
 //! surface instead.
 
 use crate::json::{self, Json};
+use tc_analytics::{Notification, Predicate};
 use tc_core::{DirectionScheme, OrderingScheme};
 use tc_datasets::Dataset;
 use tc_stream::EdgeOp;
@@ -67,13 +68,22 @@ pub enum Op {
     /// Admin: what recovery did at startup (entries loaded, WAL records
     /// replayed, torn bytes truncated). Fails without persistence.
     RecoverStats,
+    /// Register a predicate on a dataset's analytics state; the server
+    /// pushes a notification frame on this connection whenever an
+    /// applied batch trips it.
+    Subscribe,
+    /// Remove a subscription created on this connection.
+    Unsubscribe,
+    /// Admin: per-dataset analytics state (maintained edges, changes
+    /// applied, active subscriptions) plus global analytics counters.
+    AnalyticsStats,
     /// Admin: graceful shutdown (drain in-flight work, then exit).
     Shutdown,
 }
 
 impl Op {
     /// Every op, in a fixed order (indexes the per-op metrics table).
-    pub const ALL: [Op; 15] = [
+    pub const ALL: [Op; 18] = [
         Op::Count,
         Op::Simulate,
         Op::Ktruss,
@@ -88,6 +98,9 @@ impl Op {
         Op::StreamStats,
         Op::Snapshot,
         Op::RecoverStats,
+        Op::Subscribe,
+        Op::Unsubscribe,
+        Op::AnalyticsStats,
         Op::Shutdown,
     ];
 
@@ -108,6 +121,9 @@ impl Op {
             Op::StreamStats => "stream-stats",
             Op::Snapshot => "snapshot",
             Op::RecoverStats => "recover-stats",
+            Op::Subscribe => "subscribe",
+            Op::Unsubscribe => "unsubscribe",
+            Op::AnalyticsStats => "analytics-stats",
             Op::Shutdown => "shutdown",
         }
     }
@@ -180,6 +196,22 @@ pub enum Request {
     Snapshot,
     /// Report what recovery did at startup.
     RecoverStats,
+    /// Register `predicate` on `dataset`'s analytics state.
+    Subscribe {
+        /// Dataset whose stream to watch.
+        dataset: Dataset,
+        /// The condition to notify on (validated against the dataset at
+        /// execution time).
+        predicate: Predicate,
+    },
+    /// Remove subscription `sub` (connection-scoped: only the owning
+    /// connection can remove it).
+    Unsubscribe {
+        /// The subscription id returned by `subscribe`.
+        sub: u64,
+    },
+    /// Analytics state for one dataset, or for every streamed dataset.
+    AnalyticsStats(Option<Dataset>),
     /// Graceful shutdown.
     Shutdown,
 }
@@ -202,6 +234,9 @@ impl Request {
             Request::StreamStats(_) => Op::StreamStats,
             Request::Snapshot => Op::Snapshot,
             Request::RecoverStats => Op::RecoverStats,
+            Request::Subscribe { .. } => Op::Subscribe,
+            Request::Unsubscribe { .. } => Op::Unsubscribe,
+            Request::AnalyticsStats(_) => Op::AnalyticsStats,
             Request::Shutdown => Op::Shutdown,
         }
     }
@@ -412,6 +447,77 @@ fn edge_ops(obj: &Json) -> Result<Vec<EdgeOp>, ServiceError> {
     Ok(ops)
 }
 
+/// Parses the `"predicate"` member of a `subscribe` request. Shapes:
+///
+/// ```text
+/// {"kind":"support-below","u":3,"v":7,"k":2}
+/// {"kind":"clustering-delta","vertex":3,"epsilon":0.1}
+/// {"kind":"count-cross","threshold":1000}
+/// ```
+///
+/// Edge endpoints are normalised to `u < v`; self-loops are rejected
+/// (they can never carry support). Vertex-range checks happen at
+/// execution time against the live dataset.
+fn parse_predicate(obj: &Json) -> Result<Predicate, ServiceError> {
+    let Some(pred) = obj.get("predicate") else {
+        return Err(bad("missing object member \"predicate\""));
+    };
+    if !matches!(pred, Json::Obj(_)) {
+        return Err(bad("\"predicate\" must be a JSON object"));
+    }
+    let kind = pred
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("predicate missing string member \"kind\""))?;
+    let vertex = |name: &str| {
+        pred.get(name)
+            .and_then(Json::as_u64)
+            .and_then(|x| u32::try_from(x).ok())
+            .ok_or_else(|| bad(format!("predicate missing u32 member \"{name}\"")))
+    };
+    match kind {
+        "support-below" => {
+            let (a, b) = (vertex("u")?, vertex("v")?);
+            if a == b {
+                return Err(bad("predicate edge must not be a self-loop"));
+            }
+            let k = pred
+                .get("k")
+                .and_then(Json::as_u64)
+                .and_then(|x| u32::try_from(x).ok())
+                .filter(|&k| k > 0)
+                .ok_or_else(|| bad("predicate missing positive u32 member \"k\""))?;
+            Ok(Predicate::SupportBelow {
+                u: a.min(b),
+                v: a.max(b),
+                k,
+            })
+        }
+        "clustering-delta" => {
+            let epsilon = pred
+                .get("epsilon")
+                .and_then(Json::as_f64)
+                .filter(|e| e.is_finite() && *e >= 0.0)
+                .ok_or_else(|| bad("predicate missing finite non-negative member \"epsilon\""))?;
+            Ok(Predicate::ClusteringDelta {
+                vertex: vertex("vertex")?,
+                epsilon,
+            })
+        }
+        "count-cross" => {
+            let threshold = pred
+                .get("threshold")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("predicate missing integer member \"threshold\""))?;
+            Ok(Predicate::CountCross { threshold })
+        }
+        other => Err(bad(format!(
+            "unknown predicate kind \"{other}\" (expected \"support-below\", \
+             \"clustering-delta\" or \"count-cross\")"
+        ))),
+    }
+}
+
 /// Parses one request line into an [`Envelope`].
 pub fn parse_request(line: &str) -> Result<Envelope, ServiceError> {
     let value = json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
@@ -495,6 +601,24 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServiceError> {
         }
         Op::Snapshot => Request::Snapshot,
         Op::RecoverStats => Request::RecoverStats,
+        Op::Subscribe => Request::Subscribe {
+            dataset: dataset_of(&value)?,
+            predicate: parse_predicate(&value)?,
+        },
+        Op::Unsubscribe => {
+            let sub = value
+                .get("sub")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("missing integer member \"sub\""))?;
+            Request::Unsubscribe { sub }
+        }
+        Op::AnalyticsStats => {
+            if value.get("dataset").is_some() {
+                Request::AnalyticsStats(Some(dataset_of(&value)?))
+            } else {
+                Request::AnalyticsStats(None)
+            }
+        }
         Op::Shutdown => Request::Shutdown,
     };
     Ok(Envelope {
@@ -502,6 +626,61 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServiceError> {
         id,
         deadline_ms,
     })
+}
+
+/// Assembles a push-notification frame (no trailing newline).
+///
+/// Push frames are *not* responses: they arrive on the subscriber's
+/// connection interleaved between response lines, whenever an applied
+/// batch (from any connection) trips the subscription. To keep them
+/// cheaply distinguishable, `"push"` is always the **first** member —
+/// clients may classify a line with a prefix check on `{"push":`
+/// before parsing.
+pub fn notification_frame(sub: u64, dataset: Dataset, n: &Notification) -> String {
+    let mut members: Vec<(String, Json)> = vec![
+        ("push".into(), json::s("notification")),
+        ("sub".into(), json::u(sub)),
+        ("dataset".into(), json::s(dataset.name())),
+    ];
+    match *n {
+        Notification::SupportBelow {
+            u,
+            v,
+            k,
+            support,
+            exists,
+        } => {
+            members.push(("kind".into(), json::s("support-below")));
+            members.push(("u".into(), json::u(u64::from(u))));
+            members.push(("v".into(), json::u(u64::from(v))));
+            members.push(("k".into(), json::u(u64::from(k))));
+            members.push(("support".into(), json::u(u64::from(support))));
+            members.push(("exists".into(), Json::Bool(exists)));
+        }
+        Notification::ClusteringDelta {
+            vertex,
+            epsilon,
+            before,
+            after,
+        } => {
+            members.push(("kind".into(), json::s("clustering-delta")));
+            members.push(("vertex".into(), json::u(u64::from(vertex))));
+            members.push(("epsilon".into(), Json::Float(epsilon)));
+            members.push(("before".into(), Json::Float(before)));
+            members.push(("after".into(), Json::Float(after)));
+        }
+        Notification::CountCross {
+            threshold,
+            before,
+            after,
+        } => {
+            members.push(("kind".into(), json::s("count-cross")));
+            members.push(("threshold".into(), json::u(threshold)));
+            members.push(("before".into(), json::u(before)));
+            members.push(("after".into(), json::u(after)));
+        }
+    }
+    Json::Obj(members).to_string_compact()
 }
 
 /// Assembles a success response line (no trailing newline).
@@ -654,6 +833,95 @@ mod tests {
         assert_eq!(env.request, Request::StreamStats(None));
         let env = parse_request(r#"{"op":"stream-stats","dataset":"gowalla"}"#).unwrap();
         assert_eq!(env.request, Request::StreamStats(Some(Dataset::Gowalla)));
+    }
+
+    #[test]
+    fn subscribe_parses_and_normalises_predicates() {
+        let env = parse_request(
+            r#"{"op":"subscribe","dataset":"gowalla","predicate":{"kind":"support-below","u":9,"v":3,"k":2}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            env.request,
+            Request::Subscribe {
+                dataset: Dataset::Gowalla,
+                predicate: Predicate::SupportBelow { u: 3, v: 9, k: 2 },
+            }
+        );
+        let env = parse_request(
+            r#"{"op":"subscribe","dataset":"gowalla","predicate":{"kind":"clustering-delta","vertex":5,"epsilon":0.25}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            env.request,
+            Request::Subscribe {
+                dataset: Dataset::Gowalla,
+                predicate: Predicate::ClusteringDelta {
+                    vertex: 5,
+                    epsilon: 0.25,
+                },
+            }
+        );
+        let env = parse_request(
+            r#"{"op":"subscribe","dataset":"gowalla","predicate":{"kind":"count-cross","threshold":100}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            env.request,
+            Request::Subscribe {
+                dataset: Dataset::Gowalla,
+                predicate: Predicate::CountCross { threshold: 100 },
+            }
+        );
+    }
+
+    #[test]
+    fn subscribe_rejects_malformed_predicates() {
+        for line in [
+            r#"{"op":"subscribe","dataset":"gowalla"}"#,
+            r#"{"op":"subscribe","dataset":"gowalla","predicate":7}"#,
+            r#"{"op":"subscribe","dataset":"gowalla","predicate":{}}"#,
+            r#"{"op":"subscribe","dataset":"gowalla","predicate":{"kind":"nope"}}"#,
+            r#"{"op":"subscribe","dataset":"gowalla","predicate":{"kind":"support-below","u":1,"v":1,"k":2}}"#,
+            r#"{"op":"subscribe","dataset":"gowalla","predicate":{"kind":"support-below","u":1,"v":2,"k":0}}"#,
+            r#"{"op":"subscribe","dataset":"gowalla","predicate":{"kind":"clustering-delta","vertex":1,"epsilon":-0.5}}"#,
+            r#"{"op":"subscribe","dataset":"gowalla","predicate":{"kind":"count-cross"}}"#,
+            r#"{"op":"unsubscribe"}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{line:?}");
+        }
+    }
+
+    #[test]
+    fn notification_frames_lead_with_push() {
+        let frame = notification_frame(
+            7,
+            Dataset::Gowalla,
+            &Notification::SupportBelow {
+                u: 1,
+                v: 2,
+                k: 3,
+                support: 1,
+                exists: true,
+            },
+        );
+        assert!(
+            frame.starts_with(r#"{"push":"notification","sub":7,"#),
+            "{frame}"
+        );
+        assert!(frame.contains(r#""kind":"support-below""#));
+        let frame = notification_frame(
+            8,
+            Dataset::Gowalla,
+            &Notification::CountCross {
+                threshold: 10,
+                before: 9,
+                after: 12,
+            },
+        );
+        assert!(frame.starts_with(r#"{"push":"#), "{frame}");
+        assert!(frame.contains(r#""before":9"#) && frame.contains(r#""after":12"#));
     }
 
     #[test]

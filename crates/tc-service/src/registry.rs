@@ -42,6 +42,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+use tc_algos::engine::with_thread_scratch;
+use tc_analytics::{AnalyticsState, Notification, Observed, Predicate};
 use tc_core::model::ModelParams;
 use tc_core::{PreprocessResult, Preprocessor};
 use tc_datasets::Dataset;
@@ -93,6 +95,15 @@ pub struct RegistryStats {
     pub invalidations: u64,
     /// Entries installed from snapshots at startup (warm restart).
     pub recovered_entries: u64,
+    /// Streams currently carrying maintained analytics state.
+    pub analytics_states: usize,
+    /// Cold-start analytics builds (the expensive full passes).
+    pub analytics_builds: u64,
+    /// Batches applied through the recorded (analytics-maintaining) path.
+    pub analytics_batches: u64,
+    /// Reads served from maintained analytics state instead of a full
+    /// recompute.
+    pub analytics_reads: u64,
 }
 
 /// One cached preprocessed variant, described for the `stats` surface:
@@ -133,6 +144,24 @@ pub struct StreamInfo {
     pub approx_bytes: usize,
 }
 
+/// Point-in-time analytics state of one dataset, for the
+/// `analytics-stats` op.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyticsInfo {
+    /// The streamed dataset.
+    pub dataset: Dataset,
+    /// Edges with maintained support.
+    pub tracked_edges: usize,
+    /// Exact triangle count per the maintained state.
+    pub triangles: u64,
+    /// Committed changes replayed into the state since its build.
+    pub changes_applied: u64,
+    /// Recorded batches replayed into the state since its build.
+    pub batches_applied: u64,
+    /// Approximate resident bytes of the maintained state.
+    pub approx_bytes: usize,
+}
+
 /// Mutable streaming state for one dataset: the dynamic graph plus a
 /// lazily-materialized CSR of its current effective edge set (shared
 /// with every query that asks for "the raw graph"), plus a per-batch
@@ -147,6 +176,39 @@ struct StreamState {
     /// Batches applied since the last stream snapshot was enqueued;
     /// drives the auto-snapshot cadence.
     batches_since_snapshot: u64,
+    /// Maintained per-edge support and per-vertex local counts, built on
+    /// the first analytics read (or subscription) and updated in place
+    /// by every subsequent batch via the recorded-change path.
+    analytics: Option<AnalyticsState>,
+    /// Batches applied to this stream since the service created it; an
+    /// analytics build computed outside the lock is installed only if
+    /// the epoch is unchanged (no batch raced the build).
+    epoch: u64,
+}
+
+impl StreamState {
+    fn new(graph: DynamicGraph, materialized: Option<Arc<CsrGraph>>, applied_seq: u64) -> Self {
+        Self {
+            graph,
+            materialized,
+            latency: Histogram::default(),
+            applied_seq,
+            batches_since_snapshot: 0,
+            analytics: None,
+            epoch: 0,
+        }
+    }
+
+    /// The cached materialisation, rebuilding it if a mutation dropped
+    /// it. Called under the stream lock.
+    fn materialized(&mut self) -> Arc<CsrGraph> {
+        if let Some(m) = &self.materialized {
+            return Arc::clone(m);
+        }
+        let m = Arc::new(self.graph.materialize());
+        self.materialized = Some(Arc::clone(&m));
+        m
+    }
 }
 
 /// A cached preprocessed variant plus memoised derived results.
@@ -237,11 +299,17 @@ pub struct GraphRegistry {
     /// Durable home for entry snapshots and the update WAL; `None`
     /// keeps the registry purely in-memory (the historical behavior).
     persist: Option<Arc<Store>>,
+    /// Whether new streams run delta compaction on a background worker
+    /// (default) or inline on the applying thread.
+    background_compaction: bool,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
     recovered_entries: AtomicU64,
+    analytics_builds: AtomicU64,
+    analytics_batches: AtomicU64,
+    analytics_reads: AtomicU64,
 }
 
 impl GraphRegistry {
@@ -264,11 +332,30 @@ impl GraphRegistry {
             params,
             inner: Mutex::new(Inner::default()),
             persist,
+            background_compaction: true,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             recovered_entries: AtomicU64::new(0),
+            analytics_builds: AtomicU64::new(0),
+            analytics_batches: AtomicU64::new(0),
+            analytics_reads: AtomicU64::new(0),
+        }
+    }
+
+    /// Chooses whether streams created from here on compact their deltas
+    /// on a background worker (`true`, the default) or inline.
+    pub fn with_background_compaction(mut self, enabled: bool) -> Self {
+        self.background_compaction = enabled;
+        self
+    }
+
+    fn attach_compactor(&self, graph: DynamicGraph) -> DynamicGraph {
+        if self.background_compaction {
+            graph.background_compaction()
+        } else {
+            graph
         }
     }
 
@@ -287,13 +374,11 @@ impl GraphRegistry {
         for rs in recovered.streams {
             inner.streams.insert(
                 rs.dataset,
-                Arc::new(Mutex::new(StreamState {
-                    graph: rs.graph,
-                    materialized: None,
-                    latency: Histogram::default(),
-                    applied_seq: rs.applied_seq,
-                    batches_since_snapshot: 0,
-                })),
+                Arc::new(Mutex::new(StreamState::new(
+                    self.attach_compactor(rs.graph),
+                    None,
+                    rs.applied_seq,
+                ))),
             );
         }
         for record in recovered.entries {
@@ -342,12 +427,7 @@ impl GraphRegistry {
             };
             if let Some(stream) = stream {
                 let mut st = stream.lock().expect("stream lock");
-                if let Some(m) = &st.materialized {
-                    return Arc::clone(m);
-                }
-                let m = Arc::new(st.graph.materialize());
-                st.materialized = Some(Arc::clone(&m));
-                return m;
+                return st.materialized();
             }
             let g = Arc::new(tc_datasets::load(dataset));
             let mut inner = self.inner.lock().expect("registry lock");
@@ -499,9 +579,31 @@ impl GraphRegistry {
     /// makes crash replay bit-for-bit. A WAL failure rejects the batch
     /// without applying it: durability is never silently degraded.
     pub fn apply_update(&self, dataset: Dataset, ops: &[EdgeOp]) -> Result<BatchResult, String> {
+        self.apply_update_watched(dataset, ops, &[])
+            .map(|(result, _)| result)
+    }
+
+    /// [`apply_update`](Self::apply_update) with subscription predicates
+    /// attached: each `(subscription id, predicate)` pair is observed
+    /// immediately before and after the batch, **under the stream
+    /// lock**, so evaluation is exact — a predicate can never miss a
+    /// crossing to a racing batch or see a torn intermediate state. The
+    /// returned notifications are exactly the predicates this batch
+    /// tripped, in `watchers` order.
+    ///
+    /// When watchers are present (or analytics state already exists) the
+    /// batch applies through the recorded path and the maintained
+    /// analytics state advances in `O(triangles touched)`; the first
+    /// watched batch on a cold stream pays one full build.
+    pub fn apply_update_watched(
+        &self,
+        dataset: Dataset,
+        ops: &[EdgeOp],
+        watchers: &[(u64, Predicate)],
+    ) -> Result<(BatchResult, Vec<(u64, Notification)>), String> {
         let state = self.stream_state(dataset);
         let start = Instant::now();
-        let result = {
+        let (result, fired) = {
             let mut st = state.lock().expect("stream lock");
             let seq = match &self.persist {
                 Some(p) => Some(
@@ -510,7 +612,40 @@ impl GraphRegistry {
                 ),
                 None => None,
             };
-            let result = st.graph.apply_batch(ops);
+            if !watchers.is_empty() && st.analytics.is_none() {
+                // Cold subscription racing its first batch: build under
+                // the lock so the before-observation exists. One-off.
+                let m = st.materialized();
+                st.analytics = Some(with_thread_scratch(|s| AnalyticsState::build(&m, s)));
+                self.analytics_builds.fetch_add(1, Ordering::Relaxed);
+            }
+            let before: Vec<Observed> = watchers
+                .iter()
+                .map(|(_, p)| {
+                    let a = st.analytics.as_ref().expect("analytics built above");
+                    p.observe(a, &st.graph)
+                })
+                .collect();
+            let result = if st.analytics.is_some() {
+                let (result, changes) = st.graph.apply_batch_recorded(ops);
+                st.analytics
+                    .as_mut()
+                    .expect("analytics present")
+                    .apply_changes(&changes);
+                self.analytics_batches.fetch_add(1, Ordering::Relaxed);
+                result
+            } else {
+                st.graph.apply_batch(ops)
+            };
+            st.epoch += 1;
+            let fired: Vec<(u64, Notification)> = watchers
+                .iter()
+                .zip(before)
+                .filter_map(|(&(sub, p), b)| {
+                    let a = st.analytics.as_ref().expect("analytics present");
+                    p.evaluate(b, p.observe(a, &st.graph)).map(|n| (sub, n))
+                })
+                .collect();
             if let Some(seq) = seq {
                 let p = self.persist.as_ref().expect("seq implies a store");
                 st.applied_seq = seq;
@@ -526,10 +661,177 @@ impl GraphRegistry {
             }
             st.materialized = None;
             st.latency.record(start.elapsed().as_micros() as u64);
-            result
+            (result, fired)
         };
         self.invalidate(dataset);
-        Ok(result)
+        Ok((result, fired))
+    }
+
+    /// Ensures `dataset`'s stream carries maintained analytics state,
+    /// building it (one full support + per-vertex pass) if absent. The
+    /// build runs *outside* the stream lock and is installed only if no
+    /// batch raced it (epoch guard); after a few lost races it falls
+    /// back to building under the lock. Returns `false` if the dataset
+    /// has no stream (never mutated) — analytics ride the delta layer,
+    /// so a static dataset has nothing to maintain.
+    pub fn ensure_analytics(&self, dataset: Dataset) -> bool {
+        for _ in 0..3 {
+            let (m, epoch) = {
+                let inner = self.inner.lock().expect("registry lock");
+                let Some(stream) = inner.streams.get(&dataset).map(Arc::clone) else {
+                    return false;
+                };
+                drop(inner);
+                let mut st = stream.lock().expect("stream lock");
+                if st.analytics.is_some() {
+                    return true;
+                }
+                (st.materialized(), st.epoch)
+            };
+            let built = with_thread_scratch(|s| AnalyticsState::build(&m, s));
+            let stream = {
+                let inner = self.inner.lock().expect("registry lock");
+                let Some(stream) = inner.streams.get(&dataset).map(Arc::clone) else {
+                    return false;
+                };
+                stream
+            };
+            let mut st = stream.lock().expect("stream lock");
+            if st.analytics.is_some() {
+                return true;
+            }
+            if st.epoch == epoch {
+                st.analytics = Some(built);
+                self.analytics_builds.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            // A batch raced the build; retry against the new state.
+        }
+        // Persistent contention: build under the lock (exact, just slower).
+        let stream = {
+            let inner = self.inner.lock().expect("registry lock");
+            let Some(stream) = inner.streams.get(&dataset).map(Arc::clone) else {
+                return false;
+            };
+            stream
+        };
+        let mut st = stream.lock().expect("stream lock");
+        if st.analytics.is_none() {
+            let m = st.materialized();
+            st.analytics = Some(with_thread_scratch(|s| AnalyticsState::build(&m, s)));
+            self.analytics_builds.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Creates `dataset`'s streaming state if it does not exist yet,
+    /// without applying any operations — `subscribe` uses this so a
+    /// never-mutated dataset still gets the delta layer its analytics
+    /// ride on.
+    pub fn ensure_stream(&self, dataset: Dataset) {
+        let _ = self.stream_state(dataset);
+    }
+
+    /// Whether `dataset` has live streaming state (i.e. was ever
+    /// mutated), which is what makes its analytics incremental.
+    pub fn has_stream(&self, dataset: Dataset) -> bool {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .streams
+            .contains_key(&dataset)
+    }
+
+    fn with_analytics<R>(
+        &self,
+        dataset: Dataset,
+        f: impl FnOnce(&mut StreamState, Arc<CsrGraph>) -> R,
+    ) -> Option<R> {
+        let stream = {
+            let inner = self.inner.lock().expect("registry lock");
+            inner.streams.get(&dataset).map(Arc::clone)?
+        };
+        let mut st = stream.lock().expect("stream lock");
+        st.analytics.as_ref()?;
+        let m = st.materialized();
+        self.analytics_reads.fetch_add(1, Ordering::Relaxed);
+        Some(f(&mut st, m))
+    }
+
+    /// The materialised current graph plus the maintained per-edge
+    /// supports in `g.edges()` order — the exact input the k-truss peel
+    /// consumes. `None` until [`ensure_analytics`](Self::ensure_analytics)
+    /// has run for the dataset.
+    pub fn analytics_supports(&self, dataset: Dataset) -> Option<(Arc<CsrGraph>, Vec<u32>)> {
+        self.with_analytics(dataset, |st, m| {
+            let supports = st
+                .analytics
+                .as_ref()
+                .expect("checked above")
+                .supports_in_edge_order(&m);
+            (m, supports)
+        })
+    }
+
+    /// The materialised current graph plus the maintained per-vertex
+    /// local triangle counts — the input to the clustering arithmetic.
+    /// `None` until analytics exist for the dataset.
+    pub fn analytics_local_counts(&self, dataset: Dataset) -> Option<(Arc<CsrGraph>, Vec<u64>)> {
+        self.with_analytics(dataset, |st, m| {
+            let local = st
+                .analytics
+                .as_ref()
+                .expect("checked above")
+                .local_counts()
+                .to_vec();
+            (m, local)
+        })
+    }
+
+    /// Observes the value `predicate` watches right now (used to seed a
+    /// new subscription's response). `None` if the dataset carries no
+    /// analytics state yet.
+    pub fn observe_predicate(&self, dataset: Dataset, predicate: &Predicate) -> Option<Observed> {
+        let stream = {
+            let inner = self.inner.lock().expect("registry lock");
+            inner.streams.get(&dataset).map(Arc::clone)?
+        };
+        let st = stream.lock().expect("stream lock");
+        st.analytics
+            .as_ref()
+            .map(|a| predicate.observe(a, &st.graph))
+    }
+
+    /// Analytics snapshot for `dataset`, if its stream carries state.
+    pub fn analytics_info(&self, dataset: Dataset) -> Option<AnalyticsInfo> {
+        let stream = {
+            let inner = self.inner.lock().expect("registry lock");
+            inner.streams.get(&dataset).map(Arc::clone)?
+        };
+        let st = stream.lock().expect("stream lock");
+        let a = st.analytics.as_ref()?;
+        Some(AnalyticsInfo {
+            dataset,
+            tracked_edges: a.edge_count(),
+            triangles: a.triangles(),
+            changes_applied: a.changes_applied(),
+            batches_applied: a.batches_applied(),
+            approx_bytes: a.approx_bytes(),
+        })
+    }
+
+    /// Analytics snapshots for every dataset that carries state, ordered
+    /// by dataset name (deterministic for the wire).
+    pub fn analytics_infos(&self) -> Vec<AnalyticsInfo> {
+        let mut datasets: Vec<Dataset> = {
+            let inner = self.inner.lock().expect("registry lock");
+            inner.streams.keys().copied().collect()
+        };
+        datasets.sort_by_key(|d| d.name());
+        datasets
+            .into_iter()
+            .filter_map(|d| self.analytics_info(d))
+            .collect()
     }
 
     /// Snapshots every stream's current state to the store and blocks
@@ -578,14 +880,8 @@ impl GraphRegistry {
         // both build; `or_insert` keeps one, and both are identical
         // because the seed graph is.
         let base = self.graph(dataset);
-        let graph = DynamicGraph::new((*base).clone());
-        let state = Arc::new(Mutex::new(StreamState {
-            graph,
-            materialized: Some(base),
-            latency: Histogram::default(),
-            applied_seq: 0,
-            batches_since_snapshot: 0,
-        }));
+        let graph = self.attach_compactor(DynamicGraph::new((*base).clone()));
+        let state = Arc::new(Mutex::new(StreamState::new(graph, Some(base), 0)));
         let mut inner = self.inner.lock().expect("registry lock");
         Arc::clone(inner.streams.entry(dataset).or_insert(state))
     }
@@ -732,6 +1028,14 @@ impl GraphRegistry {
 
     /// Snapshot of the registry counters.
     pub fn stats(&self) -> RegistryStats {
+        let streams: Vec<Arc<Mutex<StreamState>>> = {
+            let inner = self.inner.lock().expect("registry lock");
+            inner.streams.values().map(Arc::clone).collect()
+        };
+        let analytics_states = streams
+            .iter()
+            .filter(|s| s.lock().expect("stream lock").analytics.is_some())
+            .count();
         let inner = self.inner.lock().expect("registry lock");
         RegistryStats {
             entries: inner.entries.len(),
@@ -744,6 +1048,10 @@ impl GraphRegistry {
             streams: inner.streams.len(),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             recovered_entries: self.recovered_entries.load(Ordering::Relaxed),
+            analytics_states,
+            analytics_builds: self.analytics_builds.load(Ordering::Relaxed),
+            analytics_batches: self.analytics_batches.load(Ordering::Relaxed),
+            analytics_reads: self.analytics_reads.load(Ordering::Relaxed),
         }
     }
 }

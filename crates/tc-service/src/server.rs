@@ -34,10 +34,11 @@ use crate::protocol::{
     error_response, ok_response, parse_request, ErrorKind, Op, Request, ServiceError,
 };
 use crate::registry::GraphRegistry;
+use crate::subs::SubscriptionRegistry;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -67,6 +68,9 @@ pub struct ServerConfig {
     /// Auto-snapshot a stream after this many logged update batches
     /// (only meaningful with `persist_dir`).
     pub snapshot_every_batches: u64,
+    /// Whether streamed datasets compact their deltas on a background
+    /// worker thread (default) instead of inline on the applying batch.
+    pub background_compaction: bool,
 }
 
 impl Default for ServerConfig {
@@ -80,8 +84,21 @@ impl Default for ServerConfig {
             gpu: GpuConfig::titan_xp_like(),
             persist_dir: None,
             snapshot_every_batches: 32,
+            background_compaction: true,
         }
     }
+}
+
+/// The identity a worker needs to attach a subscription to the
+/// connection that asked for it: a process-unique id plus the
+/// connection's ordered output channel (shared with its writer).
+#[derive(Clone)]
+pub(crate) struct ConnContext {
+    /// Process-unique connection id.
+    pub(crate) conn_id: u64,
+    /// The connection's ordered output queue; push frames enter here as
+    /// already-resolved lines.
+    pub(crate) out: mpsc::Sender<Pending>,
 }
 
 /// One queued request: the parsed envelope plus the channel its
@@ -92,6 +109,9 @@ struct Job {
     enqueued: Instant,
     deadline: Duration,
     respond: mpsc::Sender<String>,
+    /// The submitting connection, for ops that bind state to it
+    /// (`subscribe`/`unsubscribe`). `None` for in-process execution.
+    ctx: Option<ConnContext>,
 }
 
 /// Bounded MPMC job queue. `push` never blocks — admission control means
@@ -254,11 +274,10 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         }
         None => (None, None),
     };
-    let registry = Arc::new(GraphRegistry::with_persistence(
-        config.registry_budget,
-        params,
-        store,
-    ));
+    let registry = Arc::new(
+        GraphRegistry::with_persistence(config.registry_budget, params, store)
+            .with_background_compaction(config.background_compaction),
+    );
     let recovery = recovered.map(|r| {
         let report = r.report.clone();
         registry.install_recovered(r);
@@ -276,6 +295,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         started: Instant::now(),
         scratch: Arc::new(tc_algos::engine::ScratchPool::new()),
         recovery,
+        subs: Arc::new(SubscriptionRegistry::new()),
     });
     let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -381,6 +401,7 @@ fn worker_loop(queue: &JobQueue, executor: &Executor) {
         executor.metrics.queue_left();
         let op = job.request.op();
         let waited = job.enqueued.elapsed();
+        let ctx = job.ctx;
         let line = if waited > job.deadline {
             executor
                 .metrics
@@ -399,7 +420,7 @@ fn worker_loop(queue: &JobQueue, executor: &Executor) {
                 .record_completion(op, waited.as_micros() as u64, true);
             error_response(job.id.as_ref(), Some(op), &err)
         } else {
-            let result = executor.execute(&job.request);
+            let result = executor.execute_conn(&job.request, ctx.as_ref());
             let latency_us = job.enqueued.elapsed().as_micros() as u64;
             match result {
                 Ok(payload) => {
@@ -417,9 +438,10 @@ fn worker_loop(queue: &JobQueue, executor: &Executor) {
     }
 }
 
-/// One routed request whose response line is owed to the client, in
-/// submission order.
-enum Pending {
+/// One entry in a connection's ordered output queue: a response line
+/// owed to the client (in submission order) or an already-rendered push
+/// frame from a subscription.
+pub(crate) enum Pending {
     /// Resolved at routing time: parse error, admission rejection, or a
     /// shutdown acknowledgement.
     Ready(String),
@@ -444,11 +466,17 @@ fn connection_loop(
     shutdown: Arc<AtomicBool>,
     default_deadline: Duration,
 ) {
+    static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+    let conn_id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut writer = stream;
     let (tx, rx) = mpsc::channel::<Pending>();
+    let ctx = ConnContext {
+        conn_id,
+        out: tx.clone(),
+    };
     let reader_thread = std::thread::Builder::new()
         .name("tc-service-conn-read".into())
         .spawn(move || {
@@ -458,12 +486,16 @@ fn connection_loop(
                 if line.trim().is_empty() {
                     continue;
                 }
-                let pending = route_line(&line, &queue, &executor, &shutdown, default_deadline);
+                let pending =
+                    route_line(&line, &queue, &executor, &shutdown, default_deadline, &ctx);
                 if tx.send(pending).is_err() {
                     break; // writer died; stop reading
                 }
             }
-            // Dropping `tx` lets the writer drain what is owed and exit.
+            // Disconnect cleanup: dropping the connection's subscriptions
+            // also drops the registry's clones of `tx`, which (with ours,
+            // dropped here) lets the writer drain what is owed and exit.
+            executor.subs.drop_connection(conn_id);
         });
     let Ok(reader_thread) = reader_thread else {
         return;
@@ -499,6 +531,7 @@ fn route_line(
     executor: &Executor,
     shutdown: &AtomicBool,
     default_deadline: Duration,
+    ctx: &ConnContext,
 ) -> Pending {
     let envelope = match parse_request(line) {
         Ok(env) => env,
@@ -534,6 +567,7 @@ fn route_line(
         enqueued: Instant::now(),
         deadline,
         respond: tx,
+        ctx: Some(ctx.clone()),
     };
     executor.metrics.queue_entered();
     match queue.push(job) {

@@ -2,6 +2,7 @@
 //! [`DeltaAdjacency`] overlay, with exact incremental triangle
 //! maintenance and threshold-triggered compaction.
 
+use crate::compact::{CompactionJob, Compactor};
 use crate::delta::{DeltaAdjacency, Layer};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -34,6 +35,31 @@ impl EdgeOp {
     pub fn is_insert(&self) -> bool {
         matches!(self, EdgeOp::Insert(..))
     }
+}
+
+/// One committed change from a recorded batch
+/// ([`DynamicGraph::apply_batch_recorded`]): the canonical edge, the
+/// direction of the change, and the common neighbourhood `N(u) ∩ N(v)`
+/// at the moment the change applied — exactly the triangles the change
+/// closed (insert) or opened (delete). Downstream incremental analytics
+/// (`tc-analytics`) replay these to maintain per-edge support and
+/// per-vertex local triangle counts without re-intersecting anything.
+///
+/// Changes are emitted in the same ascending `(u, v)` order they were
+/// applied in, so replaying them sequentially against a copy of the
+/// pre-batch state reproduces the post-batch state exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeChange {
+    /// Smaller endpoint (canonical `u < v`).
+    pub u: VertexId,
+    /// Larger endpoint.
+    pub v: VertexId,
+    /// `true` for an applied insert, `false` for an applied delete.
+    pub inserted: bool,
+    /// Sorted common neighbours of `u` and `v` at change time. The edge
+    /// itself never appears; the length is the magnitude of the
+    /// triangle-count delta this change caused.
+    pub wedges: Vec<VertexId>,
 }
 
 /// When the delta overlay must be folded into a fresh base CSR.
@@ -101,7 +127,8 @@ pub struct BatchResult {
     pub triangles_delta: i64,
     /// Exact triangle count after the batch.
     pub triangles: u64,
-    /// Whether this batch triggered a compaction.
+    /// Whether a compaction completed during this batch (inline fold,
+    /// or installation of a finished background rebuild).
     pub compacted: bool,
     /// Delta-overlay size after the batch (0 right after a compaction).
     pub delta_edges: usize,
@@ -158,9 +185,9 @@ pub struct StreamSnapshot {
 /// `(u, v)` order. Two replicas that apply the same batches in the same
 /// order hold identical graphs and counts regardless of thread count or
 /// wall-clock — the differential suite enforces this.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct DynamicGraph {
-    base: CsrGraph,
+    base: Arc<CsrGraph>,
     delta: DeltaAdjacency,
     triangles: u64,
     num_edges: usize,
@@ -171,6 +198,45 @@ pub struct DynamicGraph {
     /// Reusable intersection working memory for the per-edge counting
     /// path (pure cache; cloning a `DynamicGraph` starts it cold).
     scratch: Scratch,
+    /// Background compaction worker
+    /// ([`background_compaction`](DynamicGraph::background_compaction));
+    /// `None` means threshold compaction runs inline on the update path.
+    compactor: Option<Compactor>,
+    /// Epoch of the rebuild currently in flight on the worker, if any.
+    inflight: Option<u64>,
+    /// Changes committed while a rebuild is in flight, replayed against
+    /// the new base at install time. Empty whenever `inflight` is.
+    journal: Vec<(VertexId, VertexId, bool)>,
+    /// Monotonic rebuild epoch (last handed-off job).
+    epoch: u64,
+}
+
+impl Clone for DynamicGraph {
+    /// Clones the observable graph state. The clone starts with a cold
+    /// scratch cache, no background worker, and no in-flight rebuild —
+    /// `base` + `delta` is always the full effective graph, so a clone
+    /// taken mid-rebuild is still exact; it simply compacts inline until
+    /// [`background_compaction`](DynamicGraph::background_compaction) is
+    /// re-applied.
+    fn clone(&self) -> Self {
+        let mut scratch = Scratch::new();
+        scratch.reserve_vertices(self.base.num_vertices());
+        Self {
+            base: Arc::clone(&self.base),
+            delta: self.delta.clone(),
+            triangles: self.triangles,
+            num_edges: self.num_edges,
+            policy: self.policy,
+            preprocessor: self.preprocessor.clone(),
+            prep: self.prep.clone(),
+            counters: self.counters,
+            scratch,
+            compactor: None,
+            inflight: None,
+            journal: Vec::new(),
+            epoch: 0,
+        }
+    }
 }
 
 impl DynamicGraph {
@@ -192,7 +258,7 @@ impl DynamicGraph {
         // sizing here keeps every per-edge delta allocation-free.
         scratch.reserve_vertices(base.num_vertices());
         Self {
-            base,
+            base: Arc::new(base),
             delta: DeltaAdjacency::new(),
             triangles,
             num_edges,
@@ -201,6 +267,10 @@ impl DynamicGraph {
             prep: None,
             counters: StreamCounters::default(),
             scratch,
+            compactor: None,
+            inflight: None,
+            journal: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -217,6 +287,75 @@ impl DynamicGraph {
         self.prep = Some(Arc::new(preprocessor.run(&self.base)));
         self.preprocessor = Some(preprocessor);
         self
+    }
+
+    /// Moves threshold-triggered compaction onto a dedicated worker
+    /// thread. Crossing the budget then *hands off* the fold (an `Arc`
+    /// clone of the base plus a copy of the overlay) instead of
+    /// rebuilding inline, so `apply_batch` latency no longer pays the
+    /// `O(n + m)` rebuild; changes committed while the rebuild runs are
+    /// journaled and replayed against the new base at install time.
+    ///
+    /// Counts, the effective edge set, and every query remain exact and
+    /// deterministic; only the *base/overlay split* (and therefore
+    /// [`delta_edges`](DynamicGraph::delta_edges) and the `compactions`
+    /// counter at a given instant) becomes scheduling-dependent. If the
+    /// overlay reaches twice the budget with a rebuild still in flight,
+    /// the next batch blocks for the install, bounding overlay growth.
+    pub fn background_compaction(mut self) -> Self {
+        if self.compactor.is_none() {
+            self.compactor = Some(Compactor::spawn());
+        }
+        self
+    }
+
+    /// Whether a background compaction worker is attached.
+    pub fn has_background_compaction(&self) -> bool {
+        self.compactor.is_some()
+    }
+
+    /// Whether a background rebuild is currently in flight.
+    pub fn compaction_inflight(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    /// Installs a finished background rebuild if one is ready (new base,
+    /// overlay rebuilt from the journal). Non-blocking; runs
+    /// automatically at the start of every batch. Returns `true` if a
+    /// rebuild was installed.
+    pub fn poll_compaction(&mut self) -> bool {
+        if self.inflight.is_none() {
+            return false;
+        }
+        match self.compactor.as_ref().and_then(Compactor::try_recv) {
+            Some(done) => {
+                self.install(done);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Blocks until the in-flight background rebuild (if any) is
+    /// installed. Returns `true` if one was installed.
+    pub fn wait_compaction(&mut self) -> bool {
+        if self.inflight.is_none() {
+            return false;
+        }
+        match self.compactor.as_ref().and_then(Compactor::recv_blocking) {
+            Some(done) => {
+                self.install(done);
+                true
+            }
+            None => {
+                // Worker died (panicked): detach it and fall back to
+                // inline compaction. The graph itself is unaffected.
+                self.compactor = None;
+                self.inflight = None;
+                self.journal.clear();
+                false
+            }
+        }
     }
 
     /// Number of vertices (fixed for the stream's lifetime).
@@ -321,6 +460,40 @@ impl DynamicGraph {
         count
     }
 
+    /// Like [`common_neighbors_fast`](Self::common_neighbors_fast), but
+    /// collecting the common neighbours instead of only counting them —
+    /// the recorded-batch path, where the wedge set itself is the
+    /// payload of an [`EdgeChange`].
+    fn common_neighbors_collect(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let plain_u = self.delta.adds_of(u).is_empty() && self.delta.dels_of(u).is_empty();
+        let plain_v = self.delta.adds_of(v).is_empty() && self.delta.dels_of(v).is_empty();
+        if plain_u && plain_v {
+            tc_algos::intersect::merge_collect(
+                self.base.neighbors(u),
+                self.base.neighbors(v),
+                &mut out,
+            );
+        } else {
+            let mut a = self.neighbors(u);
+            let mut b = self.neighbors(v);
+            let mut x = a.next();
+            let mut y = b.next();
+            while let (Some(p), Some(q)) = (x, y) {
+                match p.cmp(&q) {
+                    std::cmp::Ordering::Less => x = a.next(),
+                    std::cmp::Ordering::Greater => y = b.next(),
+                    std::cmp::Ordering::Equal => {
+                        out.push(p);
+                        x = a.next();
+                        y = b.next();
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Applies one batch of edge operations atomically and
     /// deterministically; returns the batch outcome (including the new
     /// exact triangle count).
@@ -330,6 +503,28 @@ impl DynamicGraph {
     /// order), so the result depends only on the batch *content*, never
     /// on scheduling.
     pub fn apply_batch(&mut self, ops: &[EdgeOp]) -> BatchResult {
+        self.apply_batch_inner(ops, None)
+    }
+
+    /// [`apply_batch`](DynamicGraph::apply_batch), additionally
+    /// returning one [`EdgeChange`] per committed change (in application
+    /// order) with the wedge set each change closed or opened. This is
+    /// the change hook incremental analytics ride; the unrecorded path
+    /// stays allocation-free per edge.
+    pub fn apply_batch_recorded(&mut self, ops: &[EdgeOp]) -> (BatchResult, Vec<EdgeChange>) {
+        let mut changes = Vec::new();
+        let result = self.apply_batch_inner(ops, Some(&mut changes));
+        (result, changes)
+    }
+
+    fn apply_batch_inner(
+        &mut self,
+        ops: &[EdgeOp],
+        mut record: Option<&mut Vec<EdgeChange>>,
+    ) -> BatchResult {
+        // Install any rebuild the worker finished since the last batch
+        // first, so this batch reads the shortest available overlay.
+        let mut compacted = self.poll_compaction();
         let n = self.num_vertices() as u64;
         let mut rejected = 0usize;
 
@@ -371,10 +566,24 @@ impl DynamicGraph {
                     noops += 1;
                     continue;
                 }
-                let closed = self.common_neighbors_fast(u, v) as i64;
-                tri_delta += closed;
+                match record.as_deref_mut() {
+                    Some(out) => {
+                        let wedges = self.common_neighbors_collect(u, v);
+                        tri_delta += wedges.len() as i64;
+                        out.push(EdgeChange {
+                            u,
+                            v,
+                            inserted: true,
+                            wedges,
+                        });
+                    }
+                    None => tri_delta += self.common_neighbors_fast(u, v) as i64,
+                }
                 self.delta
                     .record_insert(u, v, matches!(layer, Some(Layer::Del)));
+                if self.inflight.is_some() {
+                    self.journal.push((u, v, true));
+                }
                 self.num_edges += 1;
                 inserted += 1;
             } else {
@@ -382,18 +591,51 @@ impl DynamicGraph {
                     noops += 1;
                     continue;
                 }
-                let opened = self.common_neighbors_fast(u, v) as i64;
-                tri_delta -= opened;
+                match record.as_deref_mut() {
+                    Some(out) => {
+                        let wedges = self.common_neighbors_collect(u, v);
+                        tri_delta -= wedges.len() as i64;
+                        out.push(EdgeChange {
+                            u,
+                            v,
+                            inserted: false,
+                            wedges,
+                        });
+                    }
+                    None => tri_delta -= self.common_neighbors_fast(u, v) as i64,
+                }
                 self.delta.record_delete(u, v, layer.is_none());
+                if self.inflight.is_some() {
+                    self.journal.push((u, v, false));
+                }
                 self.num_edges -= 1;
                 deleted += 1;
             }
         }
         self.triangles = (self.triangles as i64 + tri_delta) as u64;
 
-        let compacted = self.delta.len() > self.policy.max_delta_edges;
-        if compacted {
-            self.compact();
+        if self.delta.len() > self.policy.max_delta_edges {
+            if self.compactor.is_none() {
+                self.compact();
+                compacted = true;
+            } else if self.inflight.is_none() {
+                self.handoff();
+            } else if self.delta.len() > self.policy.max_delta_edges.saturating_mul(2) {
+                // The overlay ran far ahead of a rebuild still in
+                // flight: block once for the install to bound overlay
+                // growth, then hand off the remainder.
+                if self.wait_compaction() {
+                    compacted = true;
+                }
+                if self.delta.len() > self.policy.max_delta_edges && self.inflight.is_none() {
+                    if self.compactor.is_some() {
+                        self.handoff();
+                    } else {
+                        self.compact();
+                        compacted = true;
+                    }
+                }
+            }
         }
 
         self.counters.batches += 1;
@@ -417,22 +659,70 @@ impl DynamicGraph {
     }
 
     /// Folds the overlay into a fresh base CSR now, regardless of the
-    /// policy. No-op (and `false`) when the overlay is empty.
+    /// policy, first installing any background rebuild in flight. No-op
+    /// (and `false`) when nothing changed.
     pub fn force_compact(&mut self) -> bool {
+        let installed = self.wait_compaction();
         if self.delta.is_empty() {
-            return false;
+            return installed;
         }
         self.compact();
         true
     }
 
     fn compact(&mut self) {
-        self.base = self.materialize();
+        debug_assert!(self.inflight.is_none(), "inline compact during handoff");
+        self.base = Arc::new(self.materialize());
         self.delta.clear();
+        self.journal.clear();
         self.counters.compactions += 1;
         if let Some(pre) = &self.preprocessor {
             self.prep = Some(Arc::new(pre.run(&self.base)));
         }
+    }
+
+    /// Freezes the current `(base, delta)` pair and submits it to the
+    /// background worker. From here until install, every committed
+    /// change is journaled on top.
+    fn handoff(&mut self) {
+        let Some(compactor) = &self.compactor else {
+            return;
+        };
+        self.epoch += 1;
+        compactor.submit(CompactionJob {
+            epoch: self.epoch,
+            base: Arc::clone(&self.base),
+            delta: self.delta.clone(),
+            preprocessor: self.preprocessor.clone(),
+        });
+        self.inflight = Some(self.epoch);
+        debug_assert!(self.journal.is_empty());
+        self.journal.clear();
+    }
+
+    /// Adopts a finished rebuild: the new base is exactly the state the
+    /// job froze, so replaying the journal (a valid op sequence starting
+    /// from that state) rebuilds the overlay, with each entry's
+    /// base-membership question answered by the new base alone.
+    fn install(&mut self, done: crate::compact::CompactionDone) {
+        debug_assert_eq!(Some(done.epoch), self.inflight, "install out of order");
+        self.base = done.base;
+        if done.prep.is_some() {
+            self.prep = done.prep;
+        }
+        let mut delta = DeltaAdjacency::new();
+        for &(u, v, inserted) in &self.journal {
+            let in_base = self.base.has_edge(u, v);
+            if inserted {
+                delta.record_insert(u, v, in_base);
+            } else {
+                delta.record_delete(u, v, in_base);
+            }
+        }
+        self.delta = delta;
+        self.journal.clear();
+        self.inflight = None;
+        self.counters.compactions += 1;
     }
 
     /// Captures this stream's observable state as a serializable
@@ -441,7 +731,7 @@ impl DynamicGraph {
     /// owner on restore, the latter is a pure cache.
     pub fn snapshot(&self) -> StreamSnapshot {
         StreamSnapshot {
-            base: self.base.clone(),
+            base: self.base.as_ref().clone(),
             adds: self.delta.add_edge_pairs(),
             dels: self.delta.del_edge_pairs(),
             triangles: self.triangles,
@@ -494,7 +784,7 @@ impl DynamicGraph {
         let mut scratch = Scratch::new();
         scratch.reserve_vertices(snap.base.num_vertices());
         Ok(Self {
-            base: snap.base,
+            base: Arc::new(snap.base),
             delta,
             triangles: snap.triangles,
             num_edges: snap.num_edges,
@@ -503,6 +793,10 @@ impl DynamicGraph {
             prep: None,
             counters: snap.counters,
             scratch,
+            compactor: None,
+            inflight: None,
+            journal: Vec::new(),
+            epoch: 0,
         })
     }
 
@@ -703,6 +997,162 @@ mod tests {
         let mut bad = g.snapshot();
         bad.adds.push((2, 0)); // not canonical u < v
         assert!(DynamicGraph::restore(bad).is_err());
+    }
+
+    #[test]
+    fn recorded_batch_matches_plain_and_reports_wedges() {
+        let base = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]).build();
+        let ops = [
+            EdgeOp::Insert(0, 2), // closes 0-1-2 and 0-2-3
+            EdgeOp::Delete(1, 3), // reopens 0-1-3? no: 1-3 was in 1-2-3 and 0-1-3
+            EdgeOp::Insert(2, 4), // isolated endpoint 4: no wedges
+        ];
+        let mut plain = DynamicGraph::new(base.clone());
+        let mut recorded = DynamicGraph::new(base);
+        let rp = plain.apply_batch(&ops);
+        let (rr, changes) = recorded.apply_batch_recorded(&ops);
+        assert_eq!(rp, rr, "recorded path must not change batch semantics");
+        assert_eq!(plain.materialize(), recorded.materialize());
+
+        // Ascending edge order: (0,2), (1,3), (2,4).
+        assert_eq!(changes.len(), 3);
+        assert_eq!(
+            (changes[0].u, changes[0].v, changes[0].inserted),
+            (0, 2, true)
+        );
+        assert_eq!(changes[0].wedges, vec![1, 3]);
+        assert_eq!(
+            (changes[1].u, changes[1].v, changes[1].inserted),
+            (1, 3, false)
+        );
+        // At delete time edge (0,2) exists, so 1-3's common set is {0, 2}.
+        assert_eq!(changes[1].wedges, vec![0, 2]);
+        assert_eq!(
+            (changes[2].u, changes[2].v, changes[2].inserted),
+            (2, 4, true)
+        );
+        assert!(changes[2].wedges.is_empty());
+
+        let net: i64 = changes
+            .iter()
+            .map(|c| {
+                let w = c.wedges.len() as i64;
+                if c.inserted {
+                    w
+                } else {
+                    -w
+                }
+            })
+            .sum();
+        assert_eq!(net, rr.triangles_delta);
+    }
+
+    #[test]
+    fn noops_and_rejects_emit_no_changes() {
+        let mut g = DynamicGraph::new(path4());
+        let (r, changes) = g.apply_batch_recorded(&[
+            EdgeOp::Insert(0, 1),  // present: noop
+            EdgeOp::Delete(0, 2),  // absent: noop
+            EdgeOp::Insert(1, 1),  // rejected
+            EdgeOp::Insert(0, 99), // rejected
+        ]);
+        assert_eq!((r.noops, r.rejected), (2, 2));
+        assert!(changes.is_empty());
+    }
+
+    #[test]
+    fn background_compaction_keeps_rebuild_off_the_update_path() {
+        let mut g = DynamicGraph::new(path4())
+            .policy(CompactionPolicy::with_budget(2))
+            .background_compaction();
+        let mut inline = DynamicGraph::new(path4()).policy(CompactionPolicy::with_budget(2));
+
+        let batch = [
+            EdgeOp::Insert(0, 2),
+            EdgeOp::Insert(1, 3),
+            EdgeOp::Insert(0, 3),
+        ];
+        let r = g.apply_batch(&batch);
+        let ri = inline.apply_batch(&batch);
+        // The threshold crossing handed off instead of folding inline:
+        // the overlay is still over budget and nothing was installed yet.
+        assert!(!r.compacted, "no rebuild can have completed synchronously");
+        assert_eq!(r.delta_edges, 3);
+        assert!(g.compaction_inflight());
+        assert_eq!(r.triangles, ri.triangles);
+
+        // Changes committed while the rebuild runs are journaled and
+        // survive the install.
+        let batch2 = [EdgeOp::Insert(2, 4), EdgeOp::Delete(0, 1)];
+        let mut g5 =
+            DynamicGraph::new(GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3)]).build())
+                .policy(CompactionPolicy::with_budget(2))
+                .background_compaction();
+        let mut inline5 =
+            DynamicGraph::new(GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3)]).build())
+                .policy(CompactionPolicy::with_budget(2));
+        g5.apply_batch(&batch);
+        inline5.apply_batch(&batch);
+        g5.apply_batch(&batch2);
+        inline5.apply_batch(&batch2);
+
+        // The second batch may have crossed 2x budget and blocked for
+        // the install itself; either way draining leaves none in flight.
+        g5.wait_compaction();
+        assert!(!g5.compaction_inflight());
+        assert_eq!(g5.triangles(), inline5.triangles());
+        assert_eq!(g5.num_edges(), inline5.num_edges());
+        assert_eq!(g5.materialize(), inline5.materialize());
+        assert_eq!(g5.triangles(), cpu::node_iterator(&g5.materialize()));
+        assert!(g5.counters().compactions >= 1);
+    }
+
+    #[test]
+    fn background_compaction_refreshes_preprocessing() {
+        let mut g = DynamicGraph::new(path4())
+            .policy(CompactionPolicy::with_budget(1))
+            .preprocess_on_compaction(Preprocessor::new())
+            .background_compaction();
+        let before = Arc::clone(g.preprocessed().expect("initial prep"));
+        g.apply_batch(&[EdgeOp::Insert(0, 2), EdgeOp::Insert(1, 3)]);
+        g.wait_compaction();
+        let after = g.preprocessed().expect("refreshed prep");
+        assert!(!Arc::ptr_eq(&before, after));
+        assert_eq!(cpu::directed_count(after.directed()), g.triangles());
+    }
+
+    #[test]
+    fn force_compact_drains_inflight_rebuild() {
+        let mut g = DynamicGraph::new(path4())
+            .policy(CompactionPolicy::with_budget(1))
+            .background_compaction();
+        g.apply_batch(&[EdgeOp::Insert(0, 2), EdgeOp::Insert(1, 3)]);
+        assert!(g.compaction_inflight());
+        assert!(g.force_compact() || g.delta_edges() == 0);
+        assert!(!g.compaction_inflight());
+        assert_eq!(g.delta_edges(), 0);
+        assert_eq!(g.triangles(), cpu::node_iterator(g.base()));
+    }
+
+    #[test]
+    fn clone_detaches_the_background_worker() {
+        let mut g = DynamicGraph::new(path4())
+            .policy(CompactionPolicy::with_budget(1))
+            .background_compaction();
+        g.apply_batch(&[EdgeOp::Insert(0, 2), EdgeOp::Insert(1, 3)]);
+        let mut c = g.clone();
+        assert!(!c.has_background_compaction());
+        assert!(!c.compaction_inflight());
+        // The clone is the full effective graph and compacts inline.
+        let r = c.apply_batch(&[EdgeOp::Insert(0, 3)]);
+        assert!(r.compacted);
+        assert_eq!(c.triangles(), cpu::node_iterator(&c.materialize()));
+        // The original (with its worker) sees the same state once it
+        // applies the same batch and drains.
+        g.apply_batch(&[EdgeOp::Insert(0, 3)]);
+        g.wait_compaction();
+        assert_eq!(g.triangles(), c.triangles());
+        assert_eq!(g.materialize(), c.materialize());
     }
 
     #[test]

@@ -25,6 +25,15 @@
 //!    paper's A-direction/A-order preprocessing re-runs
 //!    ([`DynamicGraph::preprocess_on_compaction`]), so the amortised
 //!    cost of keeping an oriented, kernel-ready variant stays bounded.
+//!    With [`DynamicGraph::background_compaction`] the fold runs on a
+//!    worker thread (frozen-input handoff + change journal), keeping the
+//!    rebuild off the update path entirely.
+//!
+//! Batches can also be applied *recorded*
+//! ([`DynamicGraph::apply_batch_recorded`]), yielding one [`EdgeChange`]
+//! per committed change with the wedge set it closed or opened — the
+//! change hook `tc-analytics` rides to maintain per-edge support and
+//! per-vertex local triangle counts incrementally.
 //!
 //! ```
 //! use tc_stream::{DynamicGraph, EdgeOp};
@@ -44,10 +53,11 @@
 //! maintained count against a fresh CPU recount of the materialized
 //! graph after every batch, at one and many threads.
 
+mod compact;
 pub mod delta;
 pub mod graph;
 
 pub use delta::DeltaAdjacency;
 pub use graph::{
-    BatchResult, CompactionPolicy, DynamicGraph, EdgeOp, StreamCounters, StreamSnapshot,
+    BatchResult, CompactionPolicy, DynamicGraph, EdgeChange, EdgeOp, StreamCounters, StreamSnapshot,
 };

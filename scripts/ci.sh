@@ -30,6 +30,9 @@ cargo run --release -q --example service_demo
 echo "==> persistence smoke test (snapshot -> restart -> warm load, WAL replay)"
 cargo run --release -q --example persist_demo
 
+echo "==> analytics smoke test (push subscriptions, incremental read paths)"
+cargo run --release -q --example analytics_demo
+
 echo "==> stream smoke test (incremental vs recompute, small suite)"
 cargo run --release -q -p tc-bench --bin experiments -- stream-bench --small
 

@@ -24,6 +24,10 @@
 //! - [`persist`] — durability: checksummed snapshots of preprocessed
 //!   registry entries and stream state, a write-ahead log for update
 //!   batches, and deterministic replay-to-exact-state recovery.
+//! - [`analytics`] — the incremental analytics engine: exact per-edge
+//!   support and per-vertex local triangle counts maintained from the
+//!   stream's change records, plus the predicate model behind the
+//!   service's push subscriptions.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +50,7 @@
 //! ```
 
 pub use tc_algos as algos;
+pub use tc_analytics as analytics;
 pub use tc_apps as apps;
 pub use tc_core as core;
 pub use tc_datasets as datasets;
