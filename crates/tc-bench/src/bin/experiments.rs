@@ -10,7 +10,8 @@
 //! all}. `--small` substitutes the small dataset suite for a quick smoke
 //! run; `--kernels=merge,adaptive` restricts `cpu-bench` to a kernel
 //! subset (each still count-asserted). `BENCH_cpu.json` is only
-//! rewritten by full, unfiltered `cpu-bench` runs.
+//! rewritten by full, unfiltered `cpu-bench` runs. `--shards=1,2,4` and
+//! `--clients=N` shape `serve-bench`'s contended shard sweep.
 //!
 //! Experiment grids and trace generation run on all cores by default;
 //! set `TC_PIPELINE_THREADS=1` for a fully serial harness. Each
@@ -28,6 +29,11 @@ struct Cli {
     small: bool,
     /// `--kernels=a,b,c` filter for `cpu-bench` (None = all kernels).
     kernels: Option<String>,
+    /// `--shards=1,2,4` shard counts for the `serve-bench` contended
+    /// sweep (None = 1,2,4; 1,2 with `--small`).
+    shards: Option<String>,
+    /// `--clients=N` concurrency for the `serve-bench` contended sweep.
+    clients: Option<usize>,
 }
 
 impl Cli {
@@ -141,7 +147,27 @@ impl Cli {
             "serve-bench" => {
                 let rows = serve_bench::run(self.small);
                 println!("{}", serve_bench::render(&rows));
-                let json = serve_bench::to_json(&rows);
+                let shard_counts: Vec<usize> = match &self.shards {
+                    Some(list) => {
+                        let parsed: Result<Vec<usize>, _> =
+                            list.split(',').map(|s| s.trim().parse()).collect();
+                        match parsed {
+                            Ok(counts) if !counts.is_empty() && counts.iter().all(|&c| c >= 1) => {
+                                counts
+                            }
+                            _ => {
+                                eprintln!("--shards wants a comma-separated list of counts >= 1");
+                                return false;
+                            }
+                        }
+                    }
+                    None if self.small => vec![1, 2],
+                    None => vec![1, 2, 4],
+                };
+                let clients = self.clients.unwrap_or(8);
+                let contended = serve_bench::run_contended(&shard_counts, clients, self.small);
+                println!("{}", serve_bench::render_contended(&contended));
+                let json = serve_bench::to_json_with_contended(&rows, &contended);
                 match std::fs::write("BENCH_service.json", &json) {
                     Ok(()) => eprintln!("wrote BENCH_service.json"),
                     Err(e) => {
@@ -236,6 +262,12 @@ fn main() {
     let kernels = args
         .iter()
         .find_map(|a| a.strip_prefix("--kernels=").map(str::to_string));
+    let shards = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--shards=").map(str::to_string));
+    let clients = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--clients=").and_then(|v| v.parse().ok()));
     let ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -244,7 +276,7 @@ fn main() {
     if ids.is_empty() {
         eprintln!(
             "usage: experiments <{}|bench-pipeline|serve-bench|stream-bench|cpu-bench|all> \
-             [--small] [--kernels=a,b,c]",
+             [--small] [--kernels=a,b,c] [--shards=1,2,4] [--clients=N]",
             ALL.join("|")
         );
         std::process::exit(2);
@@ -255,6 +287,8 @@ fn main() {
         env: ExperimentEnv::new(),
         small,
         kernels,
+        shards,
+        clients,
     };
     eprintln!("lambda = {:.3}", cli.env.params().lambda);
 

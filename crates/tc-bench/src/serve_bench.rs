@@ -19,9 +19,22 @@
 //! `BENCH_service.json` (acceptance target: warm ≥ 5× cold; restart
 //! tracks warm, not cold). Latency quantiles are computed client-side
 //! from the full sorted per-request latency vector — exact, unlike the
-//! log₂ histogram the server's own `stats` op serves.
+//! log₂ histogram the server's own `stats` op serves. These passes pin
+//! `shards: 1` so their numbers stay comparable across releases.
+//!
+//! The **contended** section ([`run_contended`]) measures the
+//! shard-per-core engine itself: many datasets with zipf-distributed
+//! popularity, a mixed op stream (`count` / `recommend` / `update`)
+//! from N concurrent clients, repeated at increasing shard counts on
+//! the identical (seeded) workload. Scaling shard count moves
+//! per-dataset traffic onto disjoint queues/registries/workers, so
+//! throughput is bounded by the hottest shard instead of one global
+//! lock — the per-shard request spread in the report shows where the
+//! skew actually landed.
 
 use crate::fmt::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 use tc_datasets::Dataset;
 use tc_service::client::ServiceClient;
@@ -167,6 +180,7 @@ pub fn run(small: bool) -> Vec<ServeBenchRow> {
             // Cold: zero budget — the registry admits nothing, every
             // query pays direction + ordering + rebuild.
             let cold_server = spawn(ServerConfig {
+                shards: 1,
                 workers,
                 registry_budget: 0,
                 ..ServerConfig::default()
@@ -177,6 +191,7 @@ pub fn run(small: bool) -> Vec<ServeBenchRow> {
 
             // Warm: default budget, one warm-up query, then the same load.
             let warm_server = spawn(ServerConfig {
+                shards: 1,
                 workers,
                 ..ServerConfig::default()
             })
@@ -202,6 +217,7 @@ pub fn run(small: bool) -> Vec<ServeBenchRow> {
             let _ = std::fs::remove_dir_all(&persist_dir);
             {
                 let life1 = spawn(ServerConfig {
+                    shards: 1,
                     workers,
                     persist_dir: Some(persist_dir.clone()),
                     ..ServerConfig::default()
@@ -216,6 +232,7 @@ pub fn run(small: bool) -> Vec<ServeBenchRow> {
                 life1.shutdown();
             }
             let life2 = spawn(ServerConfig {
+                shards: 1,
                 workers,
                 persist_dir: Some(persist_dir.clone()),
                 ..ServerConfig::default()
@@ -292,8 +309,210 @@ pub fn render(rows: &[ServeBenchRow]) -> String {
     )
 }
 
+/// One contended-workload measurement at a fixed shard count.
+#[derive(Clone, Debug)]
+pub struct ContendedRow {
+    /// Shards the server was partitioned into.
+    pub shards: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests completed across all clients.
+    pub requests: usize,
+    /// End-to-end wall-clock of the pass.
+    pub wall_s: f64,
+    /// Requests per second.
+    pub throughput_rps: f64,
+    /// Median request latency (µs).
+    pub p50_us: u64,
+    /// 99th-percentile request latency (µs).
+    pub p99_us: u64,
+    /// Requests each shard executed (from the server's per-shard stats
+    /// rows) — the zipf skew made visible.
+    pub per_shard_requests: Vec<u64>,
+}
+
+/// The contended corpus: enough distinct datasets that a zipf pick
+/// spreads across every shard count benchmarked, all small enough that
+/// the op mix is queue/lock-bound rather than kernel-bound.
+fn contended_suite(small: bool) -> Vec<Dataset> {
+    if small {
+        vec![Dataset::EmailEucore, Dataset::EmailEnron, Dataset::Gowalla]
+    } else {
+        vec![
+            Dataset::EmailEucore,
+            Dataset::EmailEnron,
+            Dataset::EmailEuall,
+            Dataset::Gowalla,
+            Dataset::RoadCentral,
+            Dataset::KronLogn18,
+        ]
+    }
+}
+
+/// Zipf(s=1) cumulative weights over ranks `1..=n`, in integer space so
+/// sampling needs only `gen_range` on u64.
+fn zipf_cumulative(n: usize) -> Vec<u64> {
+    let mut acc = 0u64;
+    (1..=n as u64)
+        .map(|rank| {
+            acc += 1_000_000 / rank;
+            acc
+        })
+        .collect()
+}
+
+/// One client's deterministic mixed request stream: dataset by zipf
+/// rank, op by a fixed 60/20/20 count/recommend/update mix.
+fn contended_line(suite: &[Dataset], cumulative: &[u64], rng: &mut StdRng) -> String {
+    let x = rng.gen_range(0..*cumulative.last().expect("non-empty suite"));
+    let pick = cumulative.iter().position(|&c| x < c).unwrap_or(0);
+    let dataset = suite[pick].name();
+    match rng.gen_range(0..10u32) {
+        0..=5 => format!(r#"{{"op":"count","dataset":"{dataset}"}}"#),
+        6..=7 => {
+            let source = rng.gen_range(0..100u32);
+            format!(r#"{{"op":"recommend","dataset":"{dataset}","source":{source},"k":4}}"#)
+        }
+        _ => {
+            let u = rng.gen_range(0..900u32);
+            let v = rng.gen_range(0..900u32);
+            format!(r#"{{"op":"update","dataset":"{dataset}","edges":[[{u},{v}]]}}"#)
+        }
+    }
+}
+
+/// Runs the contended many-dataset workload once per shard count. Every
+/// pass replays the identical seeded request streams against a fresh
+/// server, so rows differ only in how the engine was partitioned.
+pub fn run_contended(shard_counts: &[usize], clients: usize, small: bool) -> Vec<ContendedRow> {
+    let suite = contended_suite(small);
+    let cumulative = zipf_cumulative(suite.len());
+    let per_client = if small { 20 } else { 120 };
+
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let server = spawn(ServerConfig {
+                shards,
+                // Shard-per-core: one worker per shard; concurrency
+                // comes from the partitioning, not a deep pool.
+                workers: 1,
+                queue_capacity: 256,
+                ..ServerConfig::default()
+            })
+            .expect("bind contended server");
+            let addr = server.addr();
+
+            let t = Instant::now();
+            let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let suite = &suite;
+                        let cumulative = &cumulative;
+                        scope.spawn(move || {
+                            let mut rng =
+                                StdRng::seed_from_u64(0x5EED ^ (c as u64).wrapping_mul(0x9E37));
+                            let mut client = ServiceClient::connect(addr).expect("connect");
+                            (0..per_client)
+                                .map(|_| {
+                                    let line = contended_line(suite, cumulative, &mut rng);
+                                    let t = Instant::now();
+                                    let response =
+                                        client.request_raw(&line).expect("contended query");
+                                    assert!(
+                                        response.contains("\"ok\":true"),
+                                        "contended query failed: {line} -> {response}"
+                                    );
+                                    t.elapsed()
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("client thread"))
+                    .collect()
+            });
+            let wall_s = t.elapsed().as_secs_f64();
+            latencies.sort_unstable();
+            let requests = latencies.len();
+
+            let mut probe = ServiceClient::connect(addr).expect("connect probe");
+            let stats = probe.request_ok(r#"{"op":"stats"}"#).expect("stats");
+            let per_shard_requests: Vec<u64> = match stats.get("shards") {
+                Some(tc_service::json::Json::Arr(rows)) => rows
+                    .iter()
+                    .map(|r| {
+                        r.get("requests")
+                            .and_then(tc_service::json::Json::as_u64)
+                            .unwrap_or(0)
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
+            server.shutdown();
+
+            ContendedRow {
+                shards,
+                clients,
+                requests,
+                wall_s,
+                throughput_rps: if wall_s > 0.0 {
+                    requests as f64 / wall_s
+                } else {
+                    0.0
+                },
+                p50_us: quantile_us(&latencies, 0.50),
+                p99_us: quantile_us(&latencies, 0.99),
+                per_shard_requests,
+            }
+        })
+        .collect()
+}
+
+/// Renders the contended sweep as a text table.
+pub fn render_contended(rows: &[ContendedRow]) -> String {
+    let mut t = Table::new([
+        "shards",
+        "clients",
+        "requests",
+        "wall s",
+        "rps",
+        "p50 µs",
+        "p99 µs",
+        "per-shard requests",
+    ]);
+    for row in rows {
+        t.row([
+            row.shards.to_string(),
+            row.clients.to_string(),
+            row.requests.to_string(),
+            format!("{:.2}", row.wall_s),
+            format!("{:.1}", row.throughput_rps),
+            row.p50_us.to_string(),
+            row.p99_us.to_string(),
+            row.per_shard_requests
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join("/"),
+        ]);
+    }
+    format!(
+        "Contended workload (zipf dataset popularity, 60/20/20 count/recommend/update mix, \
+         1 worker per shard)\n{}",
+        t.render()
+    )
+}
+
 /// Machine-readable form (hand-rolled JSON; the workspace has no serde).
 pub fn to_json(rows: &[ServeBenchRow]) -> String {
+    to_json_with_contended(rows, &[])
+}
+
+/// [`to_json`] plus the contended-sweep section.
+pub fn to_json_with_contended(rows: &[ServeBenchRow], contended: &[ContendedRow]) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -324,7 +543,34 @@ pub fn to_json(rows: &[ServeBenchRow]) -> String {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    if contended.is_empty() {
+        out.push_str("  ]\n}\n");
+        return out;
+    }
+    out.push_str("  ],\n  \"contended\": {\n    \"op_mix\": \"count60/recommend20/update20\",\n    \"rows\": [\n");
+    for (i, r) in contended.iter().enumerate() {
+        let spread = r
+            .per_shard_requests
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "      {{\"shards\": {}, \"clients\": {}, \"requests\": {}, \"wall_s\": {:.4}, \
+             \"throughput_rps\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"per_shard_requests\": [{}]}}{}\n",
+            r.shards,
+            r.clients,
+            r.requests,
+            r.wall_s,
+            r.throughput_rps,
+            r.p50_us,
+            r.p99_us,
+            spread,
+            if i + 1 < contended.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("    ]\n  }\n}\n");
     out
 }
 
@@ -359,6 +605,84 @@ mod tests {
         assert!(json.contains("\"recovered_entries\": 1"));
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"dataset\"").count(), 1);
+    }
+
+    #[test]
+    fn contended_json_section_is_shaped() {
+        let rows = vec![ServeBenchRow {
+            dataset: "road_central".into(),
+            clients: 4,
+            workers: 4,
+            cold: stats(2.0),
+            warm: stats(20.0),
+            restart: stats(16.0),
+            recovered_entries: 1,
+        }];
+        let contended = vec![
+            ContendedRow {
+                shards: 1,
+                clients: 8,
+                requests: 160,
+                wall_s: 1.0,
+                throughput_rps: 160.0,
+                p50_us: 200,
+                p99_us: 1500,
+                per_shard_requests: vec![161],
+            },
+            ContendedRow {
+                shards: 2,
+                clients: 8,
+                requests: 160,
+                wall_s: 0.5,
+                throughput_rps: 320.0,
+                p50_us: 120,
+                p99_us: 900,
+                per_shard_requests: vec![100, 61],
+            },
+        ];
+        let json = to_json_with_contended(&rows, &contended);
+        assert!(json.contains("\"contended\""));
+        assert!(json.contains("\"per_shard_requests\": [100, 61]"));
+        assert!(json.contains("\"op_mix\""));
+        assert!(json.trim_end().ends_with('}'));
+        // Without contended rows the section is absent entirely.
+        assert!(!to_json(&rows).contains("\"contended\""));
+    }
+
+    #[test]
+    fn zipf_sampling_is_skewed_and_in_range() {
+        let suite = contended_suite(false);
+        let cumulative = zipf_cumulative(suite.len());
+        assert_eq!(cumulative.len(), suite.len());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hits = vec![0usize; suite.len()];
+        for _ in 0..4_000 {
+            let x = rng.gen_range(0..*cumulative.last().unwrap());
+            let pick = cumulative.iter().position(|&c| x < c).unwrap_or(0);
+            hits[pick] += 1;
+        }
+        // Rank 1 must dominate the tail and every rank must be sampled.
+        assert!(hits[0] > hits[suite.len() - 1] * 2, "{hits:?}");
+        assert!(hits.iter().all(|&h| h > 0), "{hits:?}");
+    }
+
+    #[test]
+    fn contended_lines_are_valid_requests() {
+        let suite = contended_suite(true);
+        let cumulative = zipf_cumulative(suite.len());
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ops = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let line = contended_line(&suite, &cumulative, &mut rng);
+            let parsed = tc_service::json::parse(&line).expect("request parses");
+            let op = parsed
+                .get("op")
+                .and_then(tc_service::json::Json::as_str)
+                .expect("op field")
+                .to_string();
+            ops.insert(op);
+        }
+        assert!(ops.contains("count") && ops.contains("recommend") && ops.contains("update"));
     }
 
     #[test]

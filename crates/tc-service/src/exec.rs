@@ -1,15 +1,19 @@
-//! Query execution: turns a validated [`Request`] into a response
-//! payload, against the shared registry / simulator / metrics state.
+//! Query execution: the per-shard [`Executor`] turns a validated
+//! [`Request`] into a response payload against that shard's registry /
+//! scratch / subscription state, and the [`Engine`] above it routes
+//! requests to their owning shard and fans admin ops out across all of
+//! them.
 //!
 //! Every payload a *query* op returns is a deterministic function of the
 //! request (exact counts, simulated cycles, scores) — no wall-clock
-//! fields — so concurrent executions are byte-identical to serial ones.
-//! The admin `stats` op is the designated non-deterministic surface.
+//! fields — so concurrent executions are byte-identical to serial ones
+//! at any shard count. The admin `stats` op is the designated
+//! non-deterministic surface.
 
 use crate::json::{obj, s, u, Json};
-use crate::metrics::ServiceMetrics;
+use crate::metrics::{quantile_upper_us_from, RouterMetrics, ServiceMetrics, BUCKETS};
 use crate::protocol::{notification_frame, ErrorKind, Op, PrepTarget, Request, ServiceError};
-use crate::registry::GraphRegistry;
+use crate::registry::{shard_of, GraphRegistry};
 use crate::server::ConnContext;
 use crate::subs::SubscriptionRegistry;
 use std::collections::BTreeMap;
@@ -30,35 +34,39 @@ pub type Payload = Vec<(String, Json)>;
 /// Static configuration echoed on the `stats` surface.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerInfo {
-    /// Worker threads executing queries.
+    /// Shards the engine is partitioned into.
+    pub shards: usize,
+    /// Worker threads executing queries, per shard.
     pub workers: usize,
-    /// Bounded request-queue capacity.
+    /// Bounded request-queue capacity, per shard.
     pub queue_capacity: usize,
     /// Default per-query deadline in milliseconds.
     pub default_deadline_ms: u64,
 }
 
-/// Shared immutable state every worker executes against.
+/// One shard's execution state: everything a query for a dataset owned
+/// by this shard touches. No field is shared with another shard (the
+/// persistence [`Store`](tc_persist::Store) behind the registry is the
+/// one deliberate exception — see `server.rs` — and it is off the query
+/// hot path), so two requests for datasets on different shards contend
+/// on nothing.
 pub struct Executor {
+    /// Which shard this is (index into the engine's shard vector).
+    pub shard: usize,
     /// The simulated GPU all `simulate` queries run on.
     pub gpu: GpuConfig,
-    /// The preprocessed-graph registry.
+    /// This shard's slice of the preprocessed-graph registry.
     pub registry: Arc<GraphRegistry>,
-    /// The metrics the `stats` op snapshots.
+    /// This shard's metrics (aggregated by the engine's `stats`).
     pub metrics: Arc<ServiceMetrics>,
-    /// Static server configuration.
-    pub info: ServerInfo,
-    /// Server start time (for the `stats` uptime field).
-    pub started: Instant,
-    /// Shared pool of warm intersection scratches: each triangle-heavy
-    /// query (ktruss, clustering, recommend) checks one out for its
-    /// duration, so repeated warm queries do zero intersection-path heap
-    /// allocation regardless of which worker thread picks them up.
+    /// This shard's pool of warm intersection scratches: each
+    /// triangle-heavy query (ktruss, clustering, recommend) checks one
+    /// out for its duration, so repeated warm queries do zero
+    /// intersection-path heap allocation — and since the pool is
+    /// per-shard, checkout never contends with another shard's workers.
     pub scratch: Arc<ScratchPool>,
-    /// What startup recovery did, when persistence is enabled — the
-    /// `recover-stats` admin op reports it verbatim.
-    pub recovery: Option<tc_persist::RecoveryReport>,
-    /// Live push subscriptions, shared with every connection thread.
+    /// Subscriptions on datasets this shard owns (ids are engine-unique
+    /// via the shared counter).
     pub subs: Arc<SubscriptionRegistry>,
 }
 
@@ -134,10 +142,14 @@ fn observed_json(o: Observed) -> Json {
 }
 
 impl Executor {
-    /// Executes one request, returning the success payload or a
-    /// structured error. Connection-scoped ops (`subscribe`,
-    /// `unsubscribe`) fail through this entry point — use
-    /// [`execute_conn`](Self::execute_conn) with a connection context.
+    /// Executes one request against *this shard's* state, returning the
+    /// success payload or a structured error. This is the single-shard
+    /// view: admin ops that must see every shard (`stats`,
+    /// `recover-stats`, and the all-datasets fan-outs) live on
+    /// [`Engine`], which also routes dataset ops to their owning shard.
+    /// Connection-scoped ops (`subscribe`, `unsubscribe`) fail through
+    /// this entry point — use [`execute_conn`](Self::execute_conn) with
+    /// a connection context.
     pub fn execute(&self, request: &Request) -> Result<Payload, ServiceError> {
         self.execute_conn(request, None)
     }
@@ -151,7 +163,7 @@ impl Executor {
     ) -> Result<Payload, ServiceError> {
         match request {
             Request::Ping => Ok(vec![("pong".into(), Json::Bool(true))]),
-            Request::Sleep(ms) => {
+            Request::Sleep { ms, .. } => {
                 std::thread::sleep(std::time::Duration::from_millis(*ms));
                 Ok(vec![("slept_ms".into(), u(*ms))])
             }
@@ -373,31 +385,10 @@ impl Executor {
                 }
                 Ok(payload)
             }
-            Request::RecoverStats => {
-                let r = self.recovery.as_ref().ok_or_else(|| {
-                    ServiceError::new(ErrorKind::Failed, "persistence is not enabled")
-                })?;
-                Ok(vec![
-                    ("entries_loaded".into(), u(r.entries_loaded as u64)),
-                    (
-                        "entries_dropped_stale".into(),
-                        u(r.entries_dropped_stale as u64),
-                    ),
-                    (
-                        "streams_from_snapshot".into(),
-                        u(r.streams_from_snapshot as u64),
-                    ),
-                    ("streams_from_wal".into(), u(r.streams_from_wal as u64)),
-                    ("wal_records_replayed".into(), u(r.wal_records_replayed)),
-                    ("wal_records_skipped".into(), u(r.wal_records_skipped)),
-                    ("torn_bytes_truncated".into(), u(r.torn_bytes_truncated)),
-                    ("wal_segments".into(), u(r.wal_segments as u64)),
-                    (
-                        "corrupt_files".into(),
-                        Json::Arr(r.corrupt_files.iter().map(|f| s(f.clone())).collect()),
-                    ),
-                ])
-            }
+            Request::RecoverStats => Err(ServiceError::new(
+                ErrorKind::Failed,
+                "recover-stats is an engine-level op (recovery spans every shard)",
+            )),
             Request::Subscribe { dataset, predicate } => {
                 let Some(ctx) = ctx else {
                     return Err(ServiceError::new(
@@ -475,32 +466,298 @@ impl Executor {
                     ),
                 ])
             }
-            Request::Stats => Ok(self.stats_payload()),
+            Request::Stats => Err(ServiceError::new(
+                ErrorKind::Failed,
+                "stats is an engine-level op (it aggregates every shard)",
+            )),
             // Shutdown is acknowledged by the connection layer (the
             // worker pool only sees it if routed in error).
             Request::Shutdown => Ok(vec![("draining".into(), Json::Bool(true))]),
         }
     }
+}
+
+/// The shard-per-core engine: a vector of shard [`Executor`]s plus the
+/// thin routing / aggregation layer over them.
+///
+/// Dataset ops go to `shard_of(dataset)`'s executor; dataset-free
+/// diagnostics (`ping`, bare `sleep`) run on shard 0; admin ops that
+/// must see everything (`stats`, `recover-stats`, `snapshot`, bare
+/// `evict` / `stream-stats` / `analytics-stats`, `unsubscribe`) fan out
+/// across every shard and merge deterministically. The engine itself
+/// holds **no lock** — routing is a pure hash, and fan-outs acquire each
+/// shard's locks one at a time, off the per-dataset hot path.
+pub struct Engine {
+    /// The shards, indexed by [`shard_of`].
+    pub shards: Vec<Arc<Executor>>,
+    /// Static server configuration echoed on `stats`.
+    pub info: ServerInfo,
+    /// Server start time (for the `stats` uptime field).
+    pub started: Instant,
+    /// What startup recovery did, when persistence is enabled — the
+    /// `recover-stats` admin op reports it verbatim. Recovery spans
+    /// every shard (the store is opened once), so the report lives here.
+    pub recovery: Option<tc_persist::RecoveryReport>,
+    /// Connection-level counters (accepted connections, parse failures).
+    pub router: Arc<RouterMetrics>,
+}
+
+impl Engine {
+    /// The shard that must execute `request`: its dataset's owner, or
+    /// shard 0 for dataset-free requests (engine-level fan-outs are
+    /// intercepted in [`execute_conn`](Self::execute_conn) before the
+    /// shard executor ever sees them, so their nominal shard only
+    /// selects which worker pool runs the fan-out).
+    pub fn route(&self, request: &Request) -> usize {
+        request
+            .dataset()
+            .map_or(0, |d| shard_of(d, self.shards.len()))
+    }
+
+    /// Executes one request, routing it to its owning shard or fanning
+    /// it out, without a connection context.
+    pub fn execute(&self, request: &Request) -> Result<Payload, ServiceError> {
+        self.execute_conn(self.route(request), request, None)
+    }
+
+    /// [`execute`](Self::execute) with the submitting connection
+    /// attached; `shard` is the routing decision (made on the reader
+    /// thread, so the job landed on that shard's queue).
+    pub(crate) fn execute_conn(
+        &self,
+        shard: usize,
+        request: &Request,
+        ctx: Option<&ConnContext>,
+    ) -> Result<Payload, ServiceError> {
+        match request {
+            Request::Ping => Ok(vec![
+                ("pong".into(), Json::Bool(true)),
+                ("shards".into(), u(self.shards.len() as u64)),
+            ]),
+            Request::Stats => Ok(self.stats_payload()),
+            Request::RecoverStats => {
+                let r = self.recovery.as_ref().ok_or_else(|| {
+                    ServiceError::new(ErrorKind::Failed, "persistence is not enabled")
+                })?;
+                Ok(vec![
+                    ("entries_loaded".into(), u(r.entries_loaded as u64)),
+                    (
+                        "entries_dropped_stale".into(),
+                        u(r.entries_dropped_stale as u64),
+                    ),
+                    (
+                        "streams_from_snapshot".into(),
+                        u(r.streams_from_snapshot as u64),
+                    ),
+                    ("streams_from_wal".into(), u(r.streams_from_wal as u64)),
+                    ("wal_records_replayed".into(), u(r.wal_records_replayed)),
+                    ("wal_records_skipped".into(), u(r.wal_records_skipped)),
+                    ("torn_bytes_truncated".into(), u(r.torn_bytes_truncated)),
+                    ("wal_segments".into(), u(r.wal_segments as u64)),
+                    (
+                        "corrupt_files".into(),
+                        Json::Arr(r.corrupt_files.iter().map(|f| s(f.clone())).collect()),
+                    ),
+                ])
+            }
+            Request::Evict(None) => {
+                let evicted: usize = self.shards.iter().map(|ex| ex.registry.clear()).sum();
+                Ok(vec![("evicted".into(), u(evicted as u64))])
+            }
+            Request::StreamStats(None) => {
+                let mut infos: Vec<crate::registry::StreamInfo> = self
+                    .shards
+                    .iter()
+                    .flat_map(|ex| ex.registry.stream_infos())
+                    .collect();
+                infos.sort_by_key(|i| i.dataset.name());
+                let rows: Vec<Json> = infos
+                    .iter()
+                    .map(|info| Json::Obj(stream_members(info)))
+                    .collect();
+                Ok(vec![("streams".into(), Json::Arr(rows))])
+            }
+            Request::AnalyticsStats(None) => {
+                let mut infos: Vec<(crate::registry::AnalyticsInfo, usize)> = self
+                    .shards
+                    .iter()
+                    .flat_map(|ex| {
+                        ex.registry
+                            .analytics_infos()
+                            .into_iter()
+                            .map(|info| {
+                                let active = ex.subs.active_for(info.dataset);
+                                (info, active)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                infos.sort_by_key(|(i, _)| i.dataset.name());
+                let rows: Vec<Json> = infos
+                    .iter()
+                    .map(|(info, active)| Json::Obj(analytics_members(info, *active)))
+                    .collect();
+                let active: usize = self.shards.iter().map(|ex| ex.subs.active()).sum();
+                let sent: u64 = self
+                    .shards
+                    .iter()
+                    .map(|ex| ex.subs.notifications_sent())
+                    .sum();
+                Ok(vec![
+                    ("datasets".into(), Json::Arr(rows)),
+                    ("subscriptions".into(), u(active as u64)),
+                    ("notifications_sent".into(), u(sent)),
+                ])
+            }
+            Request::Snapshot => {
+                let mut streams = 0usize;
+                for ex in &self.shards {
+                    streams += ex
+                        .registry
+                        .snapshot_now()
+                        .map_err(|e| ServiceError::new(ErrorKind::Failed, e))?;
+                }
+                let mut payload = vec![("streams_snapshotted".into(), u(streams as u64))];
+                // The store is shared, so any shard's handle reports it.
+                if let Some(stats) = self.shards[0]
+                    .registry
+                    .store()
+                    .and_then(|st| st.stats().ok())
+                {
+                    payload.push(("snapshot_files".into(), u(stats.snapshots.files as u64)));
+                    payload.push(("snapshot_bytes".into(), u(stats.snapshots.bytes)));
+                    payload.push(("wal_segments".into(), u(stats.wal.segments as u64)));
+                }
+                Ok(payload)
+            }
+            Request::Unsubscribe { sub } => {
+                // Only the shard owning the subscription's dataset knows
+                // the id; try each (ownership is still checked — a
+                // non-owning connection cannot remove it).
+                let conn = ctx.map(|c| c.conn_id);
+                let removed = self.shards.iter().any(|ex| ex.subs.unsubscribe(*sub, conn));
+                Ok(vec![
+                    ("sub".into(), u(*sub)),
+                    ("removed".into(), Json::Bool(removed)),
+                ])
+            }
+            _ => {
+                let ex = &self.shards[shard.min(self.shards.len() - 1)];
+                ex.execute_conn(request, ctx)
+            }
+        }
+    }
 
     fn stats_payload(&self) -> Payload {
-        let m = &self.metrics;
-        let reg = self.registry.stats();
-        let per_op: Vec<(String, Json)> = crate::protocol::Op::ALL
+        let regs: Vec<crate::registry::RegistryStats> =
+            self.shards.iter().map(|ex| ex.registry.stats()).collect();
+        // Saturating: an unbounded per-shard byte budget (usize::MAX)
+        // must aggregate to "unbounded", not wrap.
+        let sum_reg = |f: &dyn Fn(&crate::registry::RegistryStats) -> u64| -> u64 {
+            regs.iter().map(f).fold(0u64, u64::saturating_add)
+        };
+        let sum_m = |f: &dyn Fn(&ServiceMetrics) -> u64| -> u64 {
+            self.shards.iter().map(|ex| f(&ex.metrics)).sum()
+        };
+        let sum_subs = |f: &dyn Fn(&SubscriptionRegistry) -> u64| -> u64 {
+            self.shards.iter().map(|ex| f(&ex.subs)).sum()
+        };
+        // Per-op rollup: counters sum, histograms merge bucket-wise so
+        // the quantile is over the union of every shard's samples.
+        let per_op: Vec<(String, Json)> = Op::ALL
             .iter()
             .filter(|op| !matches!(op, Op::Shutdown))
             .map(|op| {
-                let om = m.op(*op);
+                let mut requests = 0u64;
+                let mut errors = 0u64;
+                let mut acc = [0u64; BUCKETS];
+                for ex in &self.shards {
+                    let om = ex.metrics.op(*op);
+                    requests += om.requests.load(Ordering::Relaxed);
+                    errors += om.errors.load(Ordering::Relaxed);
+                    om.latency.fold_into(&mut acc);
+                }
                 (
                     op.name().to_string(),
                     obj(vec![
-                        ("requests", u(om.requests.load(Ordering::Relaxed))),
-                        ("errors", u(om.errors.load(Ordering::Relaxed))),
-                        ("p50_us", u(om.latency.quantile_upper_us(0.50))),
-                        ("p99_us", u(om.latency.quantile_upper_us(0.99))),
+                        ("requests", u(requests)),
+                        ("errors", u(errors)),
+                        ("p50_us", u(quantile_upper_us_from(&acc, 0.50))),
+                        ("p99_us", u(quantile_upper_us_from(&acc, 0.99))),
                     ]),
                 )
             })
             .collect();
+        // Per-shard breakdown: the scaling diagnosis surface (a hot
+        // shard shows up as one row's depth/peak, not a global blur).
+        let shard_rows: Vec<Json> = self
+            .shards
+            .iter()
+            .zip(regs.iter())
+            .map(|(ex, reg)| {
+                let m = &ex.metrics;
+                let requests: u64 = Op::ALL
+                    .iter()
+                    .map(|op| m.op(*op).requests.load(Ordering::Relaxed))
+                    .sum();
+                obj(vec![
+                    ("shard", u(ex.shard as u64)),
+                    ("requests", u(requests)),
+                    (
+                        "queue",
+                        obj(vec![
+                            ("depth", u(m.queue_depth.load(Ordering::Relaxed) as u64)),
+                            ("peak", u(m.queue_peak.load(Ordering::Relaxed) as u64)),
+                            (
+                                "rejected_overload",
+                                u(m.rejected_overload.load(Ordering::Relaxed)),
+                            ),
+                            (
+                                "rejected_shutdown",
+                                u(m.rejected_shutdown.load(Ordering::Relaxed)),
+                            ),
+                            (
+                                "expired_deadline",
+                                u(m.expired_deadline.load(Ordering::Relaxed)),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "cache",
+                        obj(vec![
+                            ("entries", u(reg.entries as u64)),
+                            ("bytes", u(reg.bytes as u64)),
+                            ("budget", u(reg.budget as u64)),
+                            ("hits", u(reg.hits)),
+                            ("misses", u(reg.misses)),
+                            ("streams", u(reg.streams as u64)),
+                        ]),
+                    ),
+                    (
+                        "scratch",
+                        obj(vec![
+                            ("idle", u(ex.scratch.idle() as u64)),
+                            ("idle_bytes", u(ex.scratch.idle_bytes() as u64)),
+                        ]),
+                    ),
+                    ("subscriptions", u(ex.subs.active() as u64)),
+                ])
+            })
+            .collect();
+        let mut details: Vec<crate::registry::EntryDetail> = self
+            .shards
+            .iter()
+            .flat_map(|ex| ex.registry.entry_details())
+            .collect();
+        details.sort_by_key(|d| {
+            (
+                d.target.dataset.name(),
+                d.target.direction.name(),
+                d.target.ordering.name(),
+                d.target.bucket_size,
+            )
+        });
+        let recovered = sum_reg(&|r| r.recovered_entries);
         vec![
             (
                 "uptime_ms".into(),
@@ -509,63 +766,87 @@ impl Executor {
             (
                 "server".into(),
                 obj(vec![
+                    ("shards", u(self.info.shards as u64)),
                     ("workers", u(self.info.workers as u64)),
                     ("queue_capacity", u(self.info.queue_capacity as u64)),
                     ("default_deadline_ms", u(self.info.default_deadline_ms)),
-                    ("connections", u(m.connections.load(Ordering::Relaxed))),
+                    (
+                        "connections",
+                        u(self.router.connections.load(Ordering::Relaxed)),
+                    ),
                 ]),
             ),
             (
                 "queue".into(),
                 obj(vec![
-                    ("depth", u(m.queue_depth.load(Ordering::Relaxed) as u64)),
-                    ("peak", u(m.queue_peak.load(Ordering::Relaxed) as u64)),
+                    (
+                        "depth",
+                        u(sum_m(&|m| m.queue_depth.load(Ordering::Relaxed) as u64)),
+                    ),
+                    // Peak is the high-water mark of the *fullest* shard
+                    // queue — per-shard peaks never coincide, so a sum
+                    // would overstate what any queue actually held.
+                    (
+                        "peak",
+                        u(self
+                            .shards
+                            .iter()
+                            .map(|ex| ex.metrics.queue_peak.load(Ordering::Relaxed) as u64)
+                            .max()
+                            .unwrap_or(0)),
+                    ),
                     (
                         "rejected_overload",
-                        u(m.rejected_overload.load(Ordering::Relaxed)),
+                        u(sum_m(&|m| m.rejected_overload.load(Ordering::Relaxed))),
                     ),
                     (
                         "rejected_shutdown",
-                        u(m.rejected_shutdown.load(Ordering::Relaxed)),
+                        u(sum_m(&|m| m.rejected_shutdown.load(Ordering::Relaxed))),
                     ),
                     (
                         "expired_deadline",
-                        u(m.expired_deadline.load(Ordering::Relaxed)),
+                        u(sum_m(&|m| m.expired_deadline.load(Ordering::Relaxed))),
                     ),
-                    ("bad_requests", u(m.bad_requests.load(Ordering::Relaxed))),
+                    (
+                        "bad_requests",
+                        u(self.router.bad_requests.load(Ordering::Relaxed)),
+                    ),
                 ]),
             ),
             (
                 "cache".into(),
                 obj(vec![
-                    ("entries", u(reg.entries as u64)),
-                    ("bytes", u(reg.bytes as u64)),
-                    ("budget", u(reg.budget as u64)),
-                    ("hits", u(reg.hits)),
-                    ("misses", u(reg.misses)),
-                    ("evictions", u(reg.evictions)),
-                    ("invalidations", u(reg.invalidations)),
-                    ("raw_graphs", u(reg.raw_graphs as u64)),
-                    ("streams", u(reg.streams as u64)),
-                    ("recovered_entries", u(reg.recovered_entries)),
+                    ("entries", u(sum_reg(&|r| r.entries as u64))),
+                    ("bytes", u(sum_reg(&|r| r.bytes as u64))),
+                    ("budget", u(sum_reg(&|r| r.budget as u64))),
+                    ("hits", u(sum_reg(&|r| r.hits))),
+                    ("misses", u(sum_reg(&|r| r.misses))),
+                    ("evictions", u(sum_reg(&|r| r.evictions))),
+                    ("invalidations", u(sum_reg(&|r| r.invalidations))),
+                    ("raw_graphs", u(sum_reg(&|r| r.raw_graphs as u64))),
+                    ("streams", u(sum_reg(&|r| r.streams as u64))),
+                    ("recovered_entries", u(recovered)),
                 ]),
             ),
             (
                 "analytics".into(),
                 obj(vec![
-                    ("states", u(reg.analytics_states as u64)),
-                    ("builds", u(reg.analytics_builds)),
-                    ("batches", u(reg.analytics_batches)),
-                    ("reads", u(reg.analytics_reads)),
-                    ("subscriptions", u(self.subs.active() as u64)),
-                    ("subscribes", u(self.subs.subscribes())),
-                    ("unsubscribes", u(self.subs.unsubscribes())),
-                    ("notifications_sent", u(self.subs.notifications_sent())),
-                    ("dropped_dead", u(self.subs.dropped_dead())),
+                    ("states", u(sum_reg(&|r| r.analytics_states as u64))),
+                    ("builds", u(sum_reg(&|r| r.analytics_builds))),
+                    ("batches", u(sum_reg(&|r| r.analytics_batches))),
+                    ("reads", u(sum_reg(&|r| r.analytics_reads))),
+                    ("subscriptions", u(sum_subs(&|s| s.active() as u64))),
+                    ("subscribes", u(sum_subs(&|s| s.subscribes()))),
+                    ("unsubscribes", u(sum_subs(&|s| s.unsubscribes()))),
+                    (
+                        "notifications_sent",
+                        u(sum_subs(&|s| s.notifications_sent())),
+                    ),
+                    ("dropped_dead", u(sum_subs(&|s| s.dropped_dead()))),
                 ]),
             ),
             ("persistence".into(), {
-                match self.registry.store() {
+                match self.shards[0].registry.store() {
                     None => obj(vec![("enabled", Json::Bool(false))]),
                     Some(store) => {
                         let p = store.stats().unwrap_or_default();
@@ -581,23 +862,16 @@ impl Executor {
                             ("snapshot_failures", u(p.snapshot_failures)),
                             ("op_ticks", u(p.op_ticks)),
                             ("last_snapshot_age_ticks", u(p.last_snapshot_age_ticks)),
-                            ("entries_recovered", u(reg.recovered_entries)),
+                            ("entries_recovered", u(recovered)),
                         ])
                     }
                 }
             }),
-            (
-                "scratch_pool".into(),
-                obj(vec![
-                    ("idle", u(self.scratch.idle() as u64)),
-                    ("idle_bytes", u(self.scratch.idle_bytes() as u64)),
-                ]),
-            ),
+            ("shards".into(), Json::Arr(shard_rows)),
             (
                 "cache_entries".into(),
                 Json::Arr(
-                    self.registry
-                        .entry_details()
+                    details
                         .iter()
                         .map(|d| {
                             obj(vec![
@@ -626,21 +900,37 @@ mod tests {
 
     fn executor() -> Executor {
         Executor {
+            shard: 0,
             gpu: GpuConfig::titan_xp_like(),
             registry: Arc::new(GraphRegistry::new(
                 usize::MAX,
                 ModelParams::default_analytic(),
             )),
             metrics: Arc::new(ServiceMetrics::default()),
+            scratch: Arc::new(ScratchPool::new()),
+            subs: Arc::new(SubscriptionRegistry::new()),
+        }
+    }
+
+    fn engine(shards: usize) -> Engine {
+        Engine {
+            shards: (0..shards)
+                .map(|shard| {
+                    Arc::new(Executor {
+                        shard,
+                        ..executor()
+                    })
+                })
+                .collect(),
             info: ServerInfo {
+                shards,
                 workers: 1,
                 queue_capacity: 8,
                 default_deadline_ms: 1000,
             },
             started: Instant::now(),
-            scratch: Arc::new(ScratchPool::new()),
             recovery: None,
-            subs: Arc::new(SubscriptionRegistry::new()),
+            router: Arc::new(RouterMetrics::default()),
         }
     }
 
@@ -773,6 +1063,64 @@ mod tests {
             .and_then(|(_, v)| v.as_u64())
             .unwrap();
         assert_eq!(batches, 1);
+    }
+
+    #[test]
+    fn engine_routes_to_owning_shards_and_aggregates_stats() {
+        let en = engine(2);
+        let get = |p: &Payload, k: &str| p.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone());
+
+        let ping = en
+            .execute(&parse_request(r#"{"op":"ping"}"#).unwrap().request)
+            .unwrap();
+        assert_eq!(get(&ping, "shards").and_then(|v| v.as_u64()), Some(2));
+
+        // Counts land on their dataset's owning shard — and only there.
+        let datasets = [Dataset::EmailEucore, Dataset::Gowalla];
+        for d in datasets {
+            en.execute(
+                &parse_request(&format!(r#"{{"op":"count","dataset":"{}"}}"#, d.name()))
+                    .unwrap()
+                    .request,
+            )
+            .unwrap();
+        }
+        for (i, ex) in en.shards.iter().enumerate() {
+            for detail in ex.registry.entry_details() {
+                assert_eq!(crate::registry::shard_of(detail.target.dataset, 2), i);
+            }
+        }
+        let total_entries: usize = en.shards.iter().map(|ex| ex.registry.stats().entries).sum();
+        assert_eq!(total_entries, datasets.len());
+
+        let stats = en
+            .execute(&parse_request(r#"{"op":"stats"}"#).unwrap().request)
+            .unwrap();
+        let cache = get(&stats, "cache").unwrap();
+        assert_eq!(
+            cache.get("entries").and_then(Json::as_u64),
+            Some(datasets.len() as u64)
+        );
+        let Some(Json::Arr(shard_rows)) = get(&stats, "shards") else {
+            panic!("stats must carry a per-shard array");
+        };
+        assert_eq!(shard_rows.len(), 2);
+        // The global scratch_pool surface is gone; scratch is per-shard.
+        assert!(get(&stats, "scratch_pool").is_none());
+        assert!(shard_rows[0].get("scratch").is_some());
+
+        // evict-all fans out across every shard.
+        let evicted = en
+            .execute(&parse_request(r#"{"op":"evict"}"#).unwrap().request)
+            .unwrap();
+        let n = evicted
+            .iter()
+            .find(|(k, _)| k == "evicted")
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap();
+        assert_eq!(n, datasets.len() as u64);
+        let total: usize = en.shards.iter().map(|ex| ex.registry.stats().entries).sum();
+        assert_eq!(total, 0);
     }
 
     #[test]

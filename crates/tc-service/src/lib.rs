@@ -5,24 +5,36 @@
 //! graphs resident so the paper's A-direction/A-order preprocessing is
 //! paid once and amortised across queries.
 //!
+//! The engine is **shard-per-core**: datasets are partitioned across N
+//! shards by a stable hash of the dataset name, and each shard owns its
+//! registry slice, worker threads, bounded queue, subscriptions, and
+//! scratch pool outright — the same shared-nothing partitioning TRUST
+//! applies across GPUs, here applied across cores so no query ever
+//! takes a cross-shard lock (`ServerConfig::shards`; defaults to
+//! `available_parallelism`).
+//!
 //! Subsystems:
 //!
 //! - [`registry`] — the preprocessed-graph cache, keyed by
 //!   `(dataset, direction scheme, ordering scheme, bucket size)` behind
 //!   a byte-budget LRU, plus per-dataset streaming state (a
-//!   [`tc_stream::DynamicGraph`]) once a dataset is mutated.
-//! - [`server`] — acceptor + pipelined connection threads + a bounded
-//!   job queue with admission control (overload ⇒ structured error,
-//!   never unbounded latency) + worker pool + graceful drain.
+//!   [`tc_stream::DynamicGraph`]) once a dataset is mutated. One
+//!   instance per shard; [`registry::shard_of`] names the owner.
+//! - [`server`] — acceptor + pipelined connection threads + per-shard
+//!   bounded job queues with admission control (overload ⇒ structured
+//!   error, never unbounded latency) + per-shard worker pools +
+//!   graceful drain across every shard.
 //! - [`protocol`] — the wire format: query ops `count`, `simulate`,
 //!   `ktruss`, `clustering`, `recommend`; mutation op `update`;
 //!   subscription ops `subscribe`, `unsubscribe`; admin ops `load`,
 //!   `evict`, `stats`, `stream-stats`, `analytics-stats`, `ping`,
 //!   `sleep`, `shutdown` — plus the push-notification frame format.
-//! - [`exec`] — query execution against the shared state. For streamed
-//!   datasets, `ktruss` and `clustering` read from the incrementally
-//!   maintained `tc-analytics` state (bit-identical to a full
-//!   recompute, at a fraction of the cost).
+//! - [`exec`] — shard-local query execution ([`exec::Executor`]) under
+//!   the fan-out/aggregate [`exec::Engine`] (routing, `stats` rollup,
+//!   engine-wide admin ops). For streamed datasets, `ktruss` and
+//!   `clustering` read from the incrementally maintained `tc-analytics`
+//!   state (bit-identical to a full recompute, at a fraction of the
+//!   cost).
 //! - [`subs`] — live push subscriptions: predicates from `tc-analytics`
 //!   bound to connections, evaluated exactly around every applied
 //!   batch, delivered as `{"push":...}` frames on the subscriber's
@@ -35,7 +47,8 @@
 //! Query responses are deterministic functions of the request — counts
 //! are exact, simulated cycles are bit-identical at any worker count —
 //! so the e2e suite can demand byte-identical responses from concurrent
-//! and serial runs.
+//! and serial runs, and from the same script served at 1, 2, or 8
+//! shards.
 //!
 //! ## Quickstart
 //!

@@ -9,6 +9,14 @@
 //! rank — at most 2× off, which is plenty for an overload dashboard
 //! (exact quantiles for benchmarking are computed client-side by
 //! `serve-bench` from raw per-request latencies).
+//!
+//! With the shard-per-core engine each shard owns one
+//! [`ServiceMetrics`] instance — workers only ever touch their own
+//! shard's counters, so there is no cross-core cache-line ping-pong on
+//! the hot path. The `stats` op aggregates across shards at read time
+//! (histograms merge bucket-wise via [`Histogram::fold_into`] /
+//! [`quantile_upper_us_from`]). Connection-level counters that exist
+//! before routing decides a shard live in [`RouterMetrics`].
 
 use crate::protocol::Op;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -16,7 +24,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 /// Number of log₂ latency buckets: bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` microseconds; the last bucket absorbs the tail
 /// (≈ 35 minutes and beyond).
-const BUCKETS: usize = 32;
+pub const BUCKETS: usize = 32;
 
 /// A lock-free log₂ histogram over microsecond latencies.
 #[derive(Debug)]
@@ -47,20 +55,36 @@ impl Histogram {
     /// Upper bound (µs) of the bucket containing the `q`-quantile sample,
     /// or 0 when empty.
     pub fn quantile_upper_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        u64::MAX
+        let mut acc = [0u64; BUCKETS];
+        self.fold_into(&mut acc);
+        quantile_upper_us_from(&acc, q)
     }
+
+    /// Adds this histogram's bucket counts into `acc` — the cross-shard
+    /// merge the aggregated `stats` surface uses (log₂ buckets are
+    /// position-aligned, so merging is element-wise addition).
+    pub fn fold_into(&self, acc: &mut [u64; BUCKETS]) {
+        for (a, b) in acc.iter_mut().zip(self.buckets.iter()) {
+            *a += b.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// [`Histogram::quantile_upper_us`] over already-merged bucket counts.
+pub fn quantile_upper_us_from(buckets: &[u64; BUCKETS], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        seen += b;
+        if seen >= target {
+            return 1u64 << (i + 1).min(63);
+        }
+    }
+    u64::MAX
 }
 
 /// Counters for one endpoint.
@@ -74,11 +98,13 @@ pub struct OpMetrics {
     pub latency: Histogram,
 }
 
-/// The whole service's metrics.
+/// One shard's metrics: everything a worker or a routed enqueue touches
+/// is shard-local, so the hot path never shares a counter cache line
+/// with another shard.
 #[derive(Debug)]
 pub struct ServiceMetrics {
     per_op: Vec<OpMetrics>,
-    /// Current bounded-queue depth.
+    /// Current bounded-queue depth (this shard's queue).
     pub queue_depth: AtomicUsize,
     /// High-water mark of the queue depth.
     pub queue_peak: AtomicUsize,
@@ -88,10 +114,6 @@ pub struct ServiceMetrics {
     pub rejected_shutdown: AtomicU64,
     /// Requests dropped unexecuted because their deadline passed in queue.
     pub expired_deadline: AtomicU64,
-    /// Request lines that failed to parse.
-    pub bad_requests: AtomicU64,
-    /// Connections accepted over the server's lifetime.
-    pub connections: AtomicU64,
 }
 
 impl Default for ServiceMetrics {
@@ -103,10 +125,18 @@ impl Default for ServiceMetrics {
             rejected_overload: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
             expired_deadline: AtomicU64::new(0),
-            bad_requests: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
         }
     }
+}
+
+/// Counters that exist *before* a request is routed to a shard — they
+/// belong to the router / connection layer, not to any shard.
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    /// Request lines that failed to parse (no shard was ever chosen).
+    pub bad_requests: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -153,6 +183,30 @@ mod tests {
         // p99 lands on the max sample's bucket [512,1024) → 1024.
         assert_eq!(h.quantile_upper_us(0.99), 1024);
         assert_eq!(Histogram::default().quantile_upper_us(0.5), 0);
+    }
+
+    #[test]
+    fn merged_histograms_agree_with_a_single_one() {
+        let (a, b, whole) = (
+            Histogram::default(),
+            Histogram::default(),
+            Histogram::default(),
+        );
+        for us in [1, 1, 2, 3] {
+            a.record(us);
+            whole.record(us);
+        }
+        for us in [100, 1000] {
+            b.record(us);
+            whole.record(us);
+        }
+        let mut acc = [0u64; BUCKETS];
+        a.fold_into(&mut acc);
+        b.fold_into(&mut acc);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(quantile_upper_us_from(&acc, q), whole.quantile_upper_us(q));
+        }
+        assert_eq!(acc.iter().sum::<u64>(), whole.count());
     }
 
     #[test]

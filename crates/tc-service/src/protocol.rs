@@ -180,8 +180,16 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
-    /// Hold a worker for this many milliseconds (capped at 5000).
-    Sleep(u64),
+    /// Hold a worker for `ms` milliseconds (capped at 5000). An optional
+    /// `dataset` routes the sleep to that dataset's shard — without one
+    /// it occupies shard 0 — which is how the backpressure tests pin
+    /// load to a chosen shard.
+    Sleep {
+        /// How long the worker sleeps.
+        ms: u64,
+        /// Which shard to occupy (`None` ⇒ shard 0).
+        dataset: Option<Dataset>,
+    },
     /// Apply a batch of edge operations to `dataset`'s dynamic graph.
     Update {
         /// Dataset whose stream to mutate.
@@ -229,7 +237,7 @@ impl Request {
             Request::Evict(_) => Op::Evict,
             Request::Stats => Op::Stats,
             Request::Ping => Op::Ping,
-            Request::Sleep(_) => Op::Sleep,
+            Request::Sleep { .. } => Op::Sleep,
             Request::Update { .. } => Op::Update,
             Request::StreamStats(_) => Op::StreamStats,
             Request::Snapshot => Op::Snapshot,
@@ -238,6 +246,36 @@ impl Request {
             Request::Unsubscribe { .. } => Op::Unsubscribe,
             Request::AnalyticsStats(_) => Op::AnalyticsStats,
             Request::Shutdown => Op::Shutdown,
+        }
+    }
+
+    /// The dataset this request is *about*, which is what the shard
+    /// router hashes: requests returning `Some(d)` must execute on
+    /// `shard_of(d)` (they touch that dataset's registry slice, stream
+    /// lock, or analytics state); requests returning `None` are either
+    /// dataset-free diagnostics (routed to shard 0) or admin fan-outs
+    /// the engine handles across every shard.
+    pub fn dataset(&self) -> Option<Dataset> {
+        match self {
+            Request::Count(t) | Request::Simulate(t, _) | Request::Load(t) => Some(t.dataset),
+            Request::Evict(Some(t)) => Some(t.dataset),
+            Request::Ktruss(d)
+            | Request::Clustering(d)
+            | Request::Recommend { dataset: d, .. }
+            | Request::Update { dataset: d, .. }
+            | Request::StreamStats(Some(d))
+            | Request::Subscribe { dataset: d, .. }
+            | Request::AnalyticsStats(Some(d)) => Some(*d),
+            Request::Sleep { dataset, .. } => *dataset,
+            Request::Evict(None)
+            | Request::Stats
+            | Request::Ping
+            | Request::StreamStats(None)
+            | Request::Snapshot
+            | Request::RecoverStats
+            | Request::Unsubscribe { .. }
+            | Request::AnalyticsStats(None)
+            | Request::Shutdown => None,
         }
     }
 }
@@ -586,7 +624,15 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServiceError> {
                 .get("ms")
                 .and_then(Json::as_u64)
                 .ok_or_else(|| bad("missing integer member \"ms\""))?;
-            Request::Sleep(ms.min(5_000))
+            let dataset = if value.get("dataset").is_some() {
+                Some(dataset_of(&value)?)
+            } else {
+                None
+            };
+            Request::Sleep {
+                ms: ms.min(5_000),
+                dataset,
+            }
         }
         Op::Update => Request::Update {
             dataset: dataset_of(&value)?,
@@ -768,7 +814,61 @@ mod tests {
     #[test]
     fn sleep_is_capped() {
         let env = parse_request(r#"{"op":"sleep","ms":999999}"#).unwrap();
-        assert_eq!(env.request, Request::Sleep(5_000));
+        assert_eq!(
+            env.request,
+            Request::Sleep {
+                ms: 5_000,
+                dataset: None,
+            }
+        );
+        let env = parse_request(r#"{"op":"sleep","ms":10,"dataset":"gowalla"}"#).unwrap();
+        assert_eq!(
+            env.request,
+            Request::Sleep {
+                ms: 10,
+                dataset: Some(Dataset::Gowalla),
+            }
+        );
+        let err = parse_request(r#"{"op":"sleep","ms":10,"dataset":"nope"}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownDataset);
+    }
+
+    #[test]
+    fn routing_dataset_extraction() {
+        let some = [
+            r#"{"op":"count","dataset":"gowalla"}"#,
+            r#"{"op":"simulate","dataset":"gowalla","algo":"hu"}"#,
+            r#"{"op":"ktruss","dataset":"gowalla"}"#,
+            r#"{"op":"clustering","dataset":"gowalla"}"#,
+            r#"{"op":"recommend","dataset":"gowalla","source":1}"#,
+            r#"{"op":"load","dataset":"gowalla"}"#,
+            r#"{"op":"evict","dataset":"gowalla"}"#,
+            r#"{"op":"update","dataset":"gowalla","edges":[[1,2]]}"#,
+            r#"{"op":"stream-stats","dataset":"gowalla"}"#,
+            r#"{"op":"subscribe","dataset":"gowalla","predicate":{"kind":"count-cross","threshold":1}}"#,
+            r#"{"op":"analytics-stats","dataset":"gowalla"}"#,
+            r#"{"op":"sleep","ms":1,"dataset":"gowalla"}"#,
+        ];
+        for line in some {
+            let env = parse_request(line).unwrap();
+            assert_eq!(env.request.dataset(), Some(Dataset::Gowalla), "{line}");
+        }
+        let none = [
+            r#"{"op":"evict"}"#,
+            r#"{"op":"stats"}"#,
+            r#"{"op":"ping"}"#,
+            r#"{"op":"sleep","ms":1}"#,
+            r#"{"op":"stream-stats"}"#,
+            r#"{"op":"snapshot"}"#,
+            r#"{"op":"recover-stats"}"#,
+            r#"{"op":"unsubscribe","sub":1}"#,
+            r#"{"op":"analytics-stats"}"#,
+            r#"{"op":"shutdown"}"#,
+        ];
+        for line in none {
+            let env = parse_request(line).unwrap();
+            assert_eq!(env.request.dataset(), None, "{line}");
+        }
     }
 
     #[test]

@@ -71,6 +71,24 @@ fn prep_target(k: &PrepKey) -> PrepTarget {
     }
 }
 
+/// The shard that owns `dataset` in an engine of `shards` shards:
+/// FNV-1a over the dataset's wire name, reduced modulo the shard count.
+/// The wire name is the stable identity of a dataset (it is what the
+/// protocol, the persistence layer, and the recovery path key on), so
+/// the mapping is deterministic across processes and restarts — a
+/// recovered stream always lands back on the shard that will serve it.
+pub fn shard_of(dataset: Dataset, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in dataset.name().as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards as u64) as usize
+}
+
 /// Counters a registry exposes on the `stats` surface.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RegistryStats {
@@ -1308,5 +1326,27 @@ mod tests {
         }
         // Deterministic order: sorted by ordering name within a dataset.
         assert!(details[0].target.ordering.name() <= details[1].target.ordering.name());
+    }
+
+    #[test]
+    fn shard_hash_is_stable_and_in_range() {
+        for d in Dataset::all() {
+            assert_eq!(shard_of(d, 1), 0);
+            for shards in [2usize, 3, 8] {
+                let s = shard_of(d, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(d, shards), "deterministic");
+            }
+        }
+        // The hash must actually spread datasets: with two shards, both
+        // sides of the split are inhabited (the cross-shard e2e tests
+        // depend on finding datasets on each side).
+        for shards in [2usize, 8] {
+            let hit: std::collections::HashSet<usize> = Dataset::all()
+                .into_iter()
+                .map(|d| shard_of(d, shards))
+                .collect();
+            assert!(hit.len() >= 2, "{shards} shards: all datasets on one");
+        }
     }
 }

@@ -1,39 +1,56 @@
-//! The TCP server: acceptor, per-connection reader threads, a bounded
-//! job queue with admission control, and a worker pool.
+//! The TCP server: acceptor, per-connection reader threads, and a
+//! shard-per-core engine — each shard owns a bounded job queue with
+//! admission control, its worker threads, and its slice of every piece
+//! of mutable state (registry, streams, analytics, subscriptions,
+//! scratch pool).
 //!
 //! ```text
-//!  conn 0 ──┐                         ┌── worker 0 ──┐
-//!  conn 1 ──┼──▶ bounded job queue ──▶┼── worker 1 ──┼──▶ response
-//!  conn N ──┘    (reject when full)   └── worker W ──┘    channels
+//!             ┌─▶ shard 0: bounded queue ─▶ workers ─▶ registry slice ─┐
+//!  conn 0 ──┐ │                                                        │
+//!  conn 1 ──┼─┤   hash(dataset) routing on the reader thread           ├─▶ response
+//!  conn N ──┘ │                                                        │   channels
+//!             └─▶ shard K: bounded queue ─▶ workers ─▶ registry slice ─┘
 //! ```
 //!
-//! The shape mirrors the PR-1 trace pipeline (workers + bounded buffer +
-//! condvar handshake) one layer up the stack: there the bounded buffer
-//! kept trace memory in check, here it is the *admission control* — a
-//! full queue answers `overloaded` immediately instead of queueing
-//! unbounded latency, and a request that waited past its deadline is
-//! answered `deadline_exceeded` without executing. Connections are
-//! **pipelined**: a reader thread routes every arriving line into the
-//! pool immediately (a client may write many requests before reading
-//! any response), while the connection's writer resolves responses in
-//! submission order — so requests from one connection run concurrently
-//! across workers, yet answers always come back in request order.
+//! Datasets are partitioned across shards by a stable hash of the
+//! dataset name ([`crate::registry::shard_of`]); a request for dataset
+//! D is enqueued *directly onto shard(D)'s queue by the connection's
+//! reader thread*, and from admission to response it acquires only
+//! shard(D)-local locks — there is no global job queue, no shared
+//! registry mutex, and no shared scratch pool on the query path, so
+//! throughput scales with cores instead of serializing on one
+//! Mutex/Condvar pair (the TRUST-style shared-nothing partitioning the
+//! ROADMAP names as the serving north star). Admin ops that must see
+//! every shard (`stats`, `snapshot`, bare `evict`…) fan out and join in
+//! the [`Engine`].
+//!
+//! Each shard's bounded queue is the *admission control* — a full queue
+//! answers `overloaded` immediately instead of queueing unbounded
+//! latency, and a request that waited past its deadline is answered
+//! `deadline_exceeded` without executing. Connections are **pipelined**:
+//! a reader thread routes every arriving line to its shard immediately
+//! (a client may write many requests before reading any response),
+//! while the connection's writer resolves responses in submission order
+//! — so requests from one connection run concurrently across shards,
+//! yet answers always come back in request order, with subscription
+//! push frames interleaved between (never inside) them.
 //!
 //! # Shutdown
 //!
 //! `ServerHandle::shutdown()` (or a client `shutdown` op) drains rather
-//! than aborts: stop accepting connections, close the queue (new
-//! submissions get `shutting_down`), let the workers finish every job
-//! already admitted, then unblock connection readers and join every
-//! thread. In-flight requests always receive their responses.
+//! than aborts: stop accepting connections, close every shard's queue
+//! (new submissions get `shutting_down`), let each shard's workers
+//! finish every job already admitted, then unblock connection readers
+//! and join every thread. In-flight requests always receive their
+//! responses.
 
-use crate::exec::{Executor, ServerInfo};
+use crate::exec::{Engine, Executor, ServerInfo};
 use crate::json::Json;
-use crate::metrics::ServiceMetrics;
+use crate::metrics::{RouterMetrics, ServiceMetrics};
 use crate::protocol::{
     error_response, ok_response, parse_request, ErrorKind, Op, Request, ServiceError,
 };
-use crate::registry::GraphRegistry;
+use crate::registry::{shard_of, GraphRegistry};
 use crate::subs::SubscriptionRegistry;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
@@ -50,20 +67,31 @@ use tc_gpusim::GpuConfig;
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Worker threads executing queries.
+    /// Shards the engine is partitioned into (each owns its queue,
+    /// workers, registry slice, subscriptions, and scratch pool).
+    /// Defaults to `available_parallelism`, clamped ≥ 1; values are
+    /// clamped ≥ 1 at spawn.
+    pub shards: usize,
+    /// Worker threads executing queries, **per shard**.
     pub workers: usize,
-    /// Bounded request-queue capacity (admission control).
+    /// Bounded request-queue capacity (admission control), **per
+    /// shard**.
     pub queue_capacity: usize,
     /// Default per-query deadline (a request may override with
     /// `deadline_ms`); measured from enqueue to execution start.
     pub default_deadline: Duration,
-    /// Registry byte budget for preprocessed variants.
+    /// Registry byte budget for preprocessed variants, for the whole
+    /// server — divided evenly across the shards' registries.
     pub registry_budget: usize,
     /// The GPU model `simulate` queries run on.
     pub gpu: GpuConfig,
     /// Durable state directory. `None` (the default) runs fully
     /// in-memory; `Some(dir)` enables entry snapshots, the update WAL,
-    /// and startup recovery from whatever `dir` already holds.
+    /// and startup recovery from whatever `dir` already holds. The
+    /// store is opened once and shared by every shard (the on-disk
+    /// layout is shard-count-independent, so a server may restart with
+    /// a different shard count and recovery still routes every dataset
+    /// to its new owner).
     pub persist_dir: Option<std::path::PathBuf>,
     /// Auto-snapshot a stream after this many logged update batches
     /// (only meaningful with `persist_dir`).
@@ -77,6 +105,9 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".into(),
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             workers: 4,
             queue_capacity: 64,
             default_deadline: Duration::from_secs(30),
@@ -189,8 +220,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
-    metrics: Arc<ServiceMetrics>,
-    registry: Arc<GraphRegistry>,
+    engine: Arc<Engine>,
 }
 
 impl ServerHandle {
@@ -199,14 +229,25 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The server's metrics (shared with the running threads).
-    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
-        &self.metrics
+    /// The sharded engine (shared with the running threads): per-shard
+    /// executors plus the router-level counters.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
     }
 
-    /// The server's registry (shared with the running threads).
-    pub fn registry(&self) -> &Arc<GraphRegistry> {
-        &self.registry
+    /// How many shards the engine was partitioned into.
+    pub fn shards(&self) -> usize {
+        self.engine.shards.len()
+    }
+
+    /// Shard `i`'s metrics (shared with that shard's workers).
+    pub fn shard_metrics(&self, shard: usize) -> &Arc<ServiceMetrics> {
+        &self.engine.shards[shard].metrics
+    }
+
+    /// Shard `i`'s registry slice (shared with that shard's workers).
+    pub fn shard_registry(&self, shard: usize) -> &Arc<GraphRegistry> {
+        &self.engine.shards[shard].registry
     }
 
     /// Requests a graceful drain and waits for every thread to exit.
@@ -258,12 +299,13 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
-    let metrics = Arc::new(ServiceMetrics::default());
+    let shard_count = config.shards.max(1);
     let params = calibrated_params(&config.gpu);
 
     // Recovery happens before the first connection is accepted: by the
-    // time `spawn` returns, the registry already holds every snapshot
-    // entry and every WAL-replayed stream.
+    // time `spawn` returns, every shard's registry already holds its
+    // datasets' snapshot entries and WAL-replayed streams. The store is
+    // opened once (shard-count-independent on-disk layout) and shared.
     let (store, recovered) = match &config.persist_dir {
         Some(dir) => {
             let mut pcfg = tc_persist::PersistConfig::new(dir);
@@ -274,44 +316,88 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         }
         None => (None, None),
     };
-    let registry = Arc::new(
-        GraphRegistry::with_persistence(config.registry_budget, params, store)
-            .with_background_compaction(config.background_compaction),
-    );
-    let recovery = recovered.map(|r| {
-        let report = r.report.clone();
-        registry.install_recovered(r);
-        report
-    });
-    let executor = Arc::new(Executor {
-        gpu: config.gpu.clone(),
-        registry: Arc::clone(&registry),
-        metrics: Arc::clone(&metrics),
+
+    // Partition the recovered state per owning shard: the shard hash is
+    // a pure function of the dataset name, so every recovered stream and
+    // entry lands on the shard that will serve it — even if the server
+    // restarted with a different shard count.
+    let recovery = recovered.as_ref().map(|r| r.report.clone());
+    let mut per_shard_recovered: Vec<Option<tc_persist::Recovered>> = match recovered {
+        Some(r) => {
+            let mut parts: Vec<tc_persist::Recovered> = (0..shard_count)
+                .map(|_| tc_persist::Recovered {
+                    entries: Vec::new(),
+                    stale_entries: Vec::new(),
+                    streams: Vec::new(),
+                    report: r.report.clone(),
+                })
+                .collect();
+            for stream in r.streams {
+                parts[shard_of(stream.dataset, shard_count)]
+                    .streams
+                    .push(stream);
+            }
+            for entry in r.entries {
+                parts[shard_of(entry.key.dataset, shard_count)]
+                    .entries
+                    .push(entry);
+            }
+            parts.into_iter().map(Some).collect()
+        }
+        None => (0..shard_count).map(|_| None).collect(),
+    };
+
+    // Per-shard executors: registry slice (budget split evenly, with the
+    // remainder spread over the first shards), scratch pool, metrics,
+    // and subscription slice. Only the persistence store and the
+    // subscription-id counter are shared — neither sits on a query path.
+    let sub_ids = Arc::new(AtomicU64::new(0));
+    let budget_base = config.registry_budget / shard_count;
+    let budget_extra = config.registry_budget % shard_count;
+    let mut shards = Vec::with_capacity(shard_count);
+    for (shard, recovered_part) in per_shard_recovered.iter_mut().enumerate() {
+        let budget = budget_base + usize::from(shard < budget_extra);
+        let registry = Arc::new(
+            GraphRegistry::with_persistence(budget, params.clone(), store.clone())
+                .with_background_compaction(config.background_compaction),
+        );
+        if let Some(rec) = recovered_part.take() {
+            registry.install_recovered(rec);
+        }
+        shards.push(Arc::new(Executor {
+            shard,
+            gpu: config.gpu.clone(),
+            registry,
+            metrics: Arc::new(ServiceMetrics::default()),
+            scratch: Arc::new(tc_algos::engine::ScratchPool::new()),
+            subs: Arc::new(SubscriptionRegistry::with_shared_ids(Arc::clone(&sub_ids))),
+        }));
+    }
+    let engine = Arc::new(Engine {
+        shards,
         info: ServerInfo {
+            shards: shard_count,
             workers: config.workers.max(1),
             queue_capacity: config.queue_capacity.max(1),
             default_deadline_ms: config.default_deadline.as_millis() as u64,
         },
         started: Instant::now(),
-        scratch: Arc::new(tc_algos::engine::ScratchPool::new()),
         recovery,
-        subs: Arc::new(SubscriptionRegistry::new()),
+        router: Arc::new(RouterMetrics::default()),
     });
     let shutdown = Arc::new(AtomicBool::new(false));
 
     let handle_shutdown = Arc::clone(&shutdown);
-    let handle_metrics = Arc::clone(&metrics);
-    let handle_registry = Arc::clone(&registry);
+    let handle_engine = Arc::clone(&engine);
     let thread = std::thread::Builder::new()
         .name("tc-service-acceptor".into())
-        .spawn(move || serve(listener, config, executor, shutdown))?;
+        .spawn(move || serve(listener, config, engine, shutdown))?;
 
     Ok(ServerHandle {
         addr,
         shutdown: handle_shutdown,
         thread: Some(thread),
-        metrics: handle_metrics,
-        registry: handle_registry,
+        engine: handle_engine,
     })
 }
 
@@ -320,22 +406,31 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
 fn serve(
     listener: TcpListener,
     config: ServerConfig,
-    executor: Arc<Executor>,
+    engine: Arc<Engine>,
     shutdown: Arc<AtomicBool>,
 ) {
-    let queue = Arc::new(JobQueue::new(config.queue_capacity.max(1)));
     let default_deadline = config.default_deadline;
 
-    // Worker pool.
+    // One bounded queue and one worker pool per shard — a connection
+    // reader enqueues directly onto the owning shard's queue, so two
+    // requests for datasets on different shards never touch the same
+    // lock from admission to response.
+    let queues: Arc<Vec<Arc<JobQueue>>> = Arc::new(
+        (0..engine.shards.len())
+            .map(|_| Arc::new(JobQueue::new(config.queue_capacity.max(1))))
+            .collect(),
+    );
     let mut workers = Vec::new();
-    for i in 0..config.workers.max(1) {
-        let queue = Arc::clone(&queue);
-        let executor = Arc::clone(&executor);
-        let t = std::thread::Builder::new()
-            .name(format!("tc-service-worker-{i}"))
-            .spawn(move || worker_loop(&queue, &executor))
-            .expect("spawn worker");
-        workers.push(t);
+    for shard in 0..engine.shards.len() {
+        for i in 0..config.workers.max(1) {
+            let queue = Arc::clone(&queues[shard]);
+            let engine = Arc::clone(&engine);
+            let t = std::thread::Builder::new()
+                .name(format!("tc-shard{shard}-worker-{i}"))
+                .spawn(move || worker_loop(&queue, &engine, shard))
+                .expect("spawn worker");
+            workers.push(t);
+        }
     }
 
     // Accept loop: non-blocking accept polled alongside the shutdown
@@ -349,17 +444,17 @@ fn serve(
                 // each response can stall ~40ms in Nagle's buffer waiting
                 // for the client's delayed ACK.
                 let _ = stream.set_nodelay(true);
-                executor.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                engine.router.connections.fetch_add(1, Ordering::Relaxed);
                 if let Ok(clone) = stream.try_clone() {
                     streams.lock().expect("streams lock").push(clone);
                 }
-                let queue = Arc::clone(&queue);
-                let executor = Arc::clone(&executor);
+                let queues = Arc::clone(&queues);
+                let engine = Arc::clone(&engine);
                 let shutdown = Arc::clone(&shutdown);
                 let t = std::thread::Builder::new()
                     .name("tc-service-conn".into())
                     .spawn(move || {
-                        connection_loop(stream, queue, executor, shutdown, default_deadline)
+                        connection_loop(stream, queues, engine, shutdown, default_deadline)
                     })
                     .expect("spawn connection thread");
                 conns.push(t);
@@ -371,18 +466,23 @@ fn serve(
         }
     }
 
-    // Drain: close the queue (submissions now answer `shutting_down`),
-    // let the workers finish everything already admitted, then unblock
-    // the connection readers and join them.
-    queue.close();
+    // Drain: close every shard's queue (submissions now answer
+    // `shutting_down`), let each shard's workers finish everything
+    // already admitted, then unblock the connection readers and join
+    // them.
+    for queue in queues.iter() {
+        queue.close();
+    }
     for t in workers {
         let _ = t.join();
     }
     // With the workers joined no batch can still be applying, so this
     // final snapshot captures the exact served state; the next startup
     // warm-loads it without replaying the (now fully covered) WAL.
-    if executor.registry.store().is_some() {
-        let _ = executor.registry.snapshot_now();
+    for executor in &engine.shards {
+        if executor.registry.store().is_some() {
+            let _ = executor.registry.snapshot_now();
+        }
     }
     // Read-side only: blocked readers wake with EOF, while responses the
     // connection threads are still writing go out on the intact write side.
@@ -395,18 +495,17 @@ fn serve(
     drop(listener);
 }
 
-/// Worker: pops jobs, enforces deadlines, executes, records metrics.
-fn worker_loop(queue: &JobQueue, executor: &Executor) {
+/// Worker: pops jobs from its shard's queue, enforces deadlines,
+/// executes against shard-local state, records shard-local metrics.
+fn worker_loop(queue: &JobQueue, engine: &Engine, shard: usize) {
+    let metrics = &engine.shards[shard].metrics;
     while let Some(job) = queue.pop() {
-        executor.metrics.queue_left();
+        metrics.queue_left();
         let op = job.request.op();
         let waited = job.enqueued.elapsed();
         let ctx = job.ctx;
         let line = if waited > job.deadline {
-            executor
-                .metrics
-                .expired_deadline
-                .fetch_add(1, Ordering::Relaxed);
+            metrics.expired_deadline.fetch_add(1, Ordering::Relaxed);
             let err = ServiceError::new(
                 ErrorKind::DeadlineExceeded,
                 format!(
@@ -415,20 +514,18 @@ fn worker_loop(queue: &JobQueue, executor: &Executor) {
                     job.deadline.as_millis()
                 ),
             );
-            executor
-                .metrics
-                .record_completion(op, waited.as_micros() as u64, true);
+            metrics.record_completion(op, waited.as_micros() as u64, true);
             error_response(job.id.as_ref(), Some(op), &err)
         } else {
-            let result = executor.execute_conn(&job.request, ctx.as_ref());
+            let result = engine.execute_conn(shard, &job.request, ctx.as_ref());
             let latency_us = job.enqueued.elapsed().as_micros() as u64;
             match result {
                 Ok(payload) => {
-                    executor.metrics.record_completion(op, latency_us, false);
+                    metrics.record_completion(op, latency_us, false);
                     ok_response(job.id.as_ref(), op, payload)
                 }
                 Err(err) => {
-                    executor.metrics.record_completion(op, latency_us, true);
+                    metrics.record_completion(op, latency_us, true);
                     error_response(job.id.as_ref(), Some(op), &err)
                 }
             }
@@ -461,8 +558,8 @@ pub(crate) enum Pending {
 /// order, which is the pipelining contract the protocol documents.
 fn connection_loop(
     stream: TcpStream,
-    queue: Arc<JobQueue>,
-    executor: Arc<Executor>,
+    queues: Arc<Vec<Arc<JobQueue>>>,
+    engine: Arc<Engine>,
     shutdown: Arc<AtomicBool>,
     default_deadline: Duration,
 ) {
@@ -487,15 +584,19 @@ fn connection_loop(
                     continue;
                 }
                 let pending =
-                    route_line(&line, &queue, &executor, &shutdown, default_deadline, &ctx);
+                    route_line(&line, &queues, &engine, &shutdown, default_deadline, &ctx);
                 if tx.send(pending).is_err() {
                     break; // writer died; stop reading
                 }
             }
-            // Disconnect cleanup: dropping the connection's subscriptions
-            // also drops the registry's clones of `tx`, which (with ours,
-            // dropped here) lets the writer drain what is owed and exit.
-            executor.subs.drop_connection(conn_id);
+            // Disconnect cleanup: a connection's subscriptions may live on
+            // any shard (wherever its watched datasets hash), so the drop
+            // fans out. This also drops the registries' clones of `tx`,
+            // which (with ours, dropped here) lets the writer drain what
+            // is owed and exit.
+            for executor in &engine.shards {
+                executor.subs.drop_connection(conn_id);
+            }
         });
     let Ok(reader_thread) = reader_thread else {
         return;
@@ -522,13 +623,16 @@ fn connection_loop(
     let _ = reader_thread.join();
 }
 
-/// Parses and routes one request line. Admission (or synchronous
-/// rejection) happens here, on the reader thread; the response is
-/// produced later, in order, by the connection's writer.
+/// Parses and routes one request line to the owning shard's queue.
+/// Admission (or synchronous rejection) happens here, on the reader
+/// thread; the response is produced later, in order, by the
+/// connection's writer. One shard's full queue rejects only requests
+/// bound for *that* shard — traffic to other shards is admitted
+/// untouched.
 fn route_line(
     line: &str,
-    queue: &JobQueue,
-    executor: &Executor,
+    queues: &[Arc<JobQueue>],
+    engine: &Engine,
     shutdown: &AtomicBool,
     default_deadline: Duration,
     ctx: &ConnContext,
@@ -536,10 +640,7 @@ fn route_line(
     let envelope = match parse_request(line) {
         Ok(env) => env,
         Err(err) => {
-            executor
-                .metrics
-                .bad_requests
-                .fetch_add(1, Ordering::Relaxed);
+            engine.router.bad_requests.fetch_add(1, Ordering::Relaxed);
             return Pending::Ready(error_response(None, None, &err));
         }
     };
@@ -556,6 +657,9 @@ fn route_line(
     }
 
     let op = envelope.request.op();
+    let shard = engine.route(&envelope.request);
+    let metrics = &engine.shards[shard].metrics;
+    let queue = &queues[shard];
     let deadline = envelope
         .deadline_ms
         .map(Duration::from_millis)
@@ -569,7 +673,7 @@ fn route_line(
         respond: tx,
         ctx: Some(ctx.clone()),
     };
-    executor.metrics.queue_entered();
+    metrics.queue_entered();
     match queue.push(job) {
         Ok(()) => Pending::Waiting {
             rx,
@@ -577,26 +681,20 @@ fn route_line(
             op,
         },
         Err(reason) => {
-            executor.metrics.queue_left();
+            metrics.queue_left();
             let err = match reason {
                 PushError::Full => {
-                    executor
-                        .metrics
-                        .rejected_overload
-                        .fetch_add(1, Ordering::Relaxed);
+                    metrics.rejected_overload.fetch_add(1, Ordering::Relaxed);
                     ServiceError::new(
                         ErrorKind::Overloaded,
                         format!(
-                            "request queue full ({} pending); retry later",
+                            "shard {shard} request queue full ({} pending); retry later",
                             queue.capacity
                         ),
                     )
                 }
                 PushError::Closed => {
-                    executor
-                        .metrics
-                        .rejected_shutdown
-                        .fetch_add(1, Ordering::Relaxed);
+                    metrics.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
                     ServiceError::new(ErrorKind::ShuttingDown, "server is draining")
                 }
             };

@@ -18,7 +18,7 @@
 use crate::server::{ConnContext, Pending};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use tc_analytics::Predicate;
 use tc_datasets::Dataset;
 
@@ -29,11 +29,16 @@ struct Subscription {
     out: mpsc::Sender<Pending>,
 }
 
-/// All live subscriptions, shared by every worker and connection thread.
+/// One shard's live subscriptions: a subscription lives on the shard
+/// that owns its dataset (the only shard whose updates can trip it), so
+/// the watch/push path under an `update` stays shard-local. The id
+/// counter may be shared across shards ([`Self::with_shared_ids`]) so
+/// subscription ids stay process-unique — `unsubscribe`, which carries
+/// only an id, fans out across shards at the engine layer.
 #[derive(Default)]
 pub struct SubscriptionRegistry {
     inner: Mutex<HashMap<u64, Subscription>>,
-    next_id: AtomicU64,
+    next_id: Arc<AtomicU64>,
     subscribes: AtomicU64,
     unsubscribes: AtomicU64,
     notifications_sent: AtomicU64,
@@ -41,9 +46,18 @@ pub struct SubscriptionRegistry {
 }
 
 impl SubscriptionRegistry {
-    /// An empty registry.
+    /// An empty registry with its own id counter.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty registry drawing ids from a counter shared with other
+    /// shards' registries, keeping ids unique across the whole engine.
+    pub fn with_shared_ids(ids: Arc<AtomicU64>) -> Self {
+        Self {
+            next_id: ids,
+            ..Self::default()
+        }
     }
 
     /// Registers `predicate` for `dataset` on the calling connection;
@@ -219,5 +233,20 @@ mod tests {
         assert_eq!(subs.drop_connection(2), 1);
         assert_eq!(subs.active(), 0);
         assert!(!subs.push(b, "frame".into()));
+    }
+
+    #[test]
+    fn shared_ids_stay_unique_across_registries() {
+        let ids = Arc::new(AtomicU64::new(0));
+        let shard0 = SubscriptionRegistry::with_shared_ids(Arc::clone(&ids));
+        let shard1 = SubscriptionRegistry::with_shared_ids(ids);
+        let (c, _rx) = ctx(1);
+        let a = shard0.subscribe(&c, Dataset::Gowalla, P);
+        let b = shard1.subscribe(&c, Dataset::EmailEucore, P);
+        let d = shard0.subscribe(&c, Dataset::Gowalla, P);
+        assert!(a < b && b < d, "{a} {b} {d}");
+        // Each shard only knows its own subscriptions.
+        assert!(!shard0.unsubscribe(b, Some(1)));
+        assert!(shard1.unsubscribe(b, Some(1)));
     }
 }

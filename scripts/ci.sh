@@ -24,6 +24,10 @@ echo "==> tier-1 again under --features simd (SSE2/AVX2 merge tiers live)"
 cargo build --release -p tc-algos --features simd
 cargo test -q -p tc-algos --features simd
 
+echo "==> sharded service e2e (default build, then SIMD kernels under the shards)"
+cargo test -q -p tc-service --test shard_e2e
+cargo test -q -p tc-service --test shard_e2e --features simd
+
 echo "==> service smoke test (ephemeral port, one query per endpoint)"
 cargo run --release -q --example service_demo
 
@@ -32,6 +36,9 @@ cargo run --release -q --example persist_demo
 
 echo "==> analytics smoke test (push subscriptions, incremental read paths)"
 cargo run --release -q --example analytics_demo
+
+echo "==> serve-bench smoke test (cold/warm/restart passes + contended shard sweep)"
+cargo run --release -q -p tc-bench --bin experiments -- serve-bench --small --shards=1,2 --clients=4
 
 echo "==> stream smoke test (incremental vs recompute, small suite)"
 cargo run --release -q -p tc-bench --bin experiments -- stream-bench --small
